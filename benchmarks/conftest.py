@@ -1,0 +1,71 @@
+"""Shared benchmark fixtures: one real mini-HACC run + paper-scale profiles.
+
+Every benchmark regenerates a table or figure from the paper.  Rendered
+outputs are printed and archived under ``benchmarks/results/`` so the
+paper-vs-measured record in EXPERIMENTS.md can be refreshed from a run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import profile_from_context
+from repro.core import test_run_like_profile as _make_test_run_profile
+from repro.insitu import (
+    HaloCenterAlgorithm,
+    HaloFinderAlgorithm,
+    InSituAnalysisManager,
+)
+from repro.machines import PAPER_CALIBRATION
+from repro.sim import HACCSimulation, SimulationConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a rendered table/figure and archive it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def cost():
+    return PAPER_CALIBRATION
+
+
+@pytest.fixture(scope="session")
+def bench_sim():
+    """A 32³ mini-HACC run to z=0 with in-situ halo analysis (4 ranks)."""
+    last = 30
+    mgr = InSituAnalysisManager()
+    mgr.register(HaloFinderAlgorithm(at_steps=last, min_count=40, n_ranks=4))
+    mgr.register(HaloCenterAlgorithm(at_steps=last, threshold=500))
+    sim = HACCSimulation(
+        SimulationConfig(np_per_dim=32, box=50.0, z_initial=30.0, n_steps=last, ng=64),
+        analysis_manager=mgr,
+    )
+    sim.run()
+    return sim, mgr.history[last]
+
+
+@pytest.fixture(scope="session")
+def measured_profile(bench_sim):
+    sim, ctx = bench_sim
+    return profile_from_context(ctx, n_particles=len(sim.particles), n_steps=30)
+
+
+@pytest.fixture(scope="session")
+def paper_profile():
+    """The synthesized 1024³ / 32-node test-run workload (§4.2)."""
+    return _make_test_run_profile()
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(19371115)

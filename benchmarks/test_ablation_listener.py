@@ -1,0 +1,73 @@
+"""Ablation: co-scheduling listener behaviour (DESIGN.md #3).
+
+Paper §3.2: "the rate at which the listener checks for new output files
+should be chosen to be much higher than the rate at which the main code
+generates new output files" — otherwise jobs pile up.  Also the core
+co-scheduling claim: analysis jobs overlapping the simulation shorten
+the time-to-science at identical core-hour cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CombinedWorkflow, qcontinuum_like_profile
+from repro.core.report import render_table
+from repro.machines import Listener, TITAN
+
+from conftest import save_result
+
+
+def test_listener_pileup_vs_poll_rate(benchmark, tmp_path):
+    """Slow polling causes backlog spikes; fast polling sees one file at
+    a time (simulated with pre-written snapshot files, deterministic)."""
+    def backlog(poll_every_n_snapshots):
+        spool = tmp_path / f"spool_{poll_every_n_snapshots}"
+        spool.mkdir()
+        listener = Listener(spool, "l2_step*.gio", lambda *a: None)
+        n_snaps = 24
+        for s in range(n_snaps):
+            (spool / f"l2_step{s:04d}.gio").write_bytes(b"x")
+            if (s + 1) % poll_every_n_snapshots == 0:
+                listener.poll_once()
+        listener.poll_once()
+        return listener.stats.max_backlog
+
+    fast = benchmark.pedantic(backlog, args=(1,), rounds=1, iterations=1)
+    slow = backlog(8)
+    save_result(
+        "ablation_listener",
+        f"max job backlog: poll-per-snapshot {fast}, poll-every-8 {slow} "
+        f"(paper: poll rate must be much higher than the output rate)",
+    )
+    assert fast == 1
+    assert slow >= 8
+
+
+def test_coscheduling_time_to_science(benchmark, cost):
+    """Makespan of the co-scheduled campaign vs the simple variant for
+    the multi-snapshot (scaled Q Continuum) workload."""
+    profile = qcontinuum_like_profile(scale_down=512)
+
+    wf = CombinedWorkflow(cost, TITAN, variant="coscheduled")
+    makespan = benchmark.pedantic(
+        wf.coscheduled_makespan, args=(profile,), rounds=1, iterations=1
+    )
+    simple = CombinedWorkflow(cost, TITAN, variant="simple").evaluate(profile)
+    t_simple = (
+        simple.simulation.total_seconds
+        + simple.postprocessing[0].queue_wait
+        + simple.postprocessing[0].total_seconds
+    )
+    save_result(
+        "ablation_coscheduling",
+        render_table(
+            ["variant", "time-to-science (s)"],
+            [
+                ["co-scheduled (overlapped)", f"{makespan:,.0f}"],
+                ["simple (queued after sim)", f"{t_simple:,.0f}"],
+                ["speedup", f"{t_simple / makespan:.2f}x"],
+            ],
+            title="Co-scheduling: time to the last analysis result",
+        ),
+    )
+    assert makespan < t_simple

@@ -1,0 +1,94 @@
+"""Ablation: sweep of the in-situ/off-load threshold (DESIGN.md #1).
+
+The paper chose 300,000 particles manually and sketches an automated
+rule.  This ablation sweeps the threshold for the 1024³ test workload
+and shows the core-hour curve: too low and the Level 2 data balloons
+(approaching the off-line cost); too high and the slowest node's
+center-finding dominates (approaching the in-situ cost).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CombinedWorkflow, InSituOnlyWorkflow, plan_split
+from repro.core.report import render_table
+from repro.machines import TITAN
+
+from conftest import save_result
+
+THRESHOLDS = [3_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000]
+
+
+def test_threshold_sweep(benchmark, paper_profile, cost):
+    def sweep():
+        out = {}
+        for thr in THRESHOLDS:
+            wf = CombinedWorkflow(cost, TITAN, threshold=thr, n_offline_nodes=4)
+            out[thr] = wf.evaluate(paper_profile)
+        return out
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    insitu = InSituOnlyWorkflow(cost, TITAN).evaluate(paper_profile)
+
+    rows = []
+    for thr, rep in reports.items():
+        rows.append(
+            [
+                f"{thr:,}",
+                f"{rep.analysis_core_hours:.0f}",
+                f"{rep.simulation.seconds('analysis'):.0f}",
+                f"{rep.postprocessing[0].total_seconds:.0f}",
+            ]
+        )
+    rows.append(["in-situ only", f"{insitu.analysis_core_hours:.0f}", "-", "-"])
+    save_result(
+        "ablation_threshold",
+        render_table(
+            ["threshold", "core-h", "in-situ analysis s", "post s"],
+            rows,
+            title="Ablation: off-load threshold sweep (1024^3 test workload)",
+        ),
+    )
+
+    ch = {t: r.analysis_core_hours for t, r in reports.items()}
+    # the paper's 300k sits in the flat optimum region: within 25% of the
+    # sweep's minimum
+    best = min(ch.values())
+    assert ch[300_000] < 1.25 * best
+    # pushing the threshold to the largest halo recovers ~the in-situ cost
+    assert ch[3_000_000] == pytest.approx(insitu.analysis_core_hours, rel=0.25)
+    # the planner's automated threshold lands within the flat region too
+    plan = plan_split(paper_profile, cost, TITAN)
+    auto_thr = plan.threshold or paper_profile.largest_halo
+    wf = CombinedWorkflow(cost, TITAN, threshold=auto_thr, n_offline_nodes=4)
+    auto_ch = wf.evaluate(paper_profile).analysis_core_hours
+    # the borderline 1024^3 workload: the t_io rule picks all-in-situ,
+    # which costs ~1.8x the swept optimum — an honest limitation of the
+    # paper's heuristic at small scale (it shines at Q Continuum scale)
+    assert auto_ch < 2.0 * best
+
+
+def test_offline_nodes_sweep(benchmark, paper_profile, cost):
+    """§4.2: 'the computational costs between one node and four nodes
+    are roughly the same while the wall clock reduced for four nodes by
+    a factor of four'."""
+    def run(n):
+        wf = CombinedWorkflow(cost, TITAN, threshold=300_000, n_offline_nodes=n)
+        return wf.evaluate(paper_profile)
+
+    r1 = benchmark.pedantic(run, args=(1,), rounds=1, iterations=1)
+    r4 = run(4)
+    wall1 = r1.postprocessing[0].seconds("analysis")
+    wall4 = r4.postprocessing[0].seconds("analysis")
+    core1 = r1.postprocessing[0].core_hours
+    core4 = r4.postprocessing[0].core_hours
+    save_result(
+        "ablation_nodes",
+        f"off-line analysis: 1 node {wall1:.0f}s/{core1:.0f} core-h vs "
+        f"4 nodes {wall4:.0f}s/{core4:.0f} core-h "
+        f"(paper: same cost, ~4x wall-clock)",
+    )
+    # wall clock drops ~4x with 4 nodes...
+    assert wall1 / wall4 == pytest.approx(4.0, rel=0.3)
+    # ...while core-hours stay roughly flat (within 35%)
+    assert core4 == pytest.approx(core1, rel=0.35)

@@ -1,0 +1,119 @@
+"""§3.3.2 micro-results: center-finder backends and algorithms.
+
+Paper claims exercised here:
+
+* the PISTON/GPU brute-force center finder is ~50x faster than the
+  serial CPU path (our ``vector`` vs ``serial`` backend ratio plays
+  that role — the measured ratio calibrates the cost model);
+* the serial A* search does a problem-dependent factor (~8x) less work
+  than brute force (we report exact-evaluation reduction and wall
+  time);
+* cost scales as n², so "a halo with 10 million particles can take
+  10,000 times longer than for a halo with 100,000 particles".
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    center_finding_cost,
+    mbp_center_astar,
+    mbp_center_bruteforce,
+)
+
+from conftest import bench_rng, save_result
+
+
+def _plummer(rng, n):
+    u = rng.uniform(0.001, 0.999, n)
+    r = 1.0 / np.sqrt(u ** (-2.0 / 3.0) - 1.0)
+    v = rng.normal(size=(n, 3))
+    v /= np.linalg.norm(v, axis=1)[:, None]
+    return r[:, None] * v + 10.0
+
+
+@pytest.fixture(scope="module")
+def halo(bench_rng):
+    return _plummer(bench_rng, 2000)
+
+
+def test_bruteforce_vector(benchmark, halo):
+    idx, phi, _ = benchmark(mbp_center_bruteforce, halo, backend="vector")
+    assert phi < 0
+
+
+def test_bruteforce_serial(benchmark, halo):
+    """The CPU-reference path (expect orders of magnitude slower)."""
+    small = halo[:300]
+    benchmark.pedantic(
+        mbp_center_bruteforce, args=(small,), kwargs={"backend": "serial"},
+        rounds=2, iterations=1,
+    )
+
+
+def test_astar(benchmark, halo):
+    i_a, phi_a, stats = benchmark(mbp_center_astar, halo)
+    i_b, phi_b, _ = mbp_center_bruteforce(halo, backend="vector")
+    assert i_a == i_b
+    assert phi_a == pytest.approx(phi_b)
+
+
+def test_backend_speed_ratio(benchmark, halo, bench_rng):
+    """Measure the serial/vector ratio — the stand-in for the paper's
+    'approximately a factor of fifty speed-up' on Titan's GPUs."""
+    import time
+
+    small = halo[:400]
+    t0 = time.perf_counter()
+    mbp_center_bruteforce(small, backend="serial")
+    t_serial = time.perf_counter() - t0
+    benchmark.pedantic(
+        mbp_center_bruteforce, args=(small,), kwargs={"backend": "vector"},
+        rounds=1, iterations=1,
+    )
+    t0 = time.perf_counter()
+    mbp_center_bruteforce(small, backend="vector")
+    t_vector = time.perf_counter() - t0
+    ratio = t_serial / t_vector
+    save_result(
+        "center_backend_ratio",
+        f"serial/vector center-finder time ratio at n=400: {ratio:.0f}x "
+        f"(the paper's GPU speed-up analogue: ~50x)",
+    )
+    assert ratio > 5.0
+
+
+def test_astar_work_reduction(benchmark, halo):
+    """A* exact-evaluation pruning (paper: 'roughly eight' overall)."""
+    n = len(halo)
+    _, _, stats = benchmark.pedantic(mbp_center_astar, args=(halo,), rounds=1, iterations=1)
+    eval_reduction = n / max(stats.exact_potentials, 1)
+    _, _, brute = mbp_center_bruteforce(halo, backend="vector")
+    work_reduction = brute.pair_evaluations / stats.pair_evaluations
+    save_result(
+        "center_astar",
+        f"A*: exact potentials {stats.exact_potentials}/{n} "
+        f"(reduction {eval_reduction:.0f}x); total pair-op reduction "
+        f"{work_reduction:.1f}x (paper: ~8x, problem-dependent)",
+    )
+    assert eval_reduction > 2.0
+
+
+def test_quadratic_cost_claim(benchmark):
+    """10M vs 100k particle halos: exactly 10,000x the pair work."""
+    costs = benchmark(center_finding_cost, np.asarray([100_000, 10_000_000]))
+    assert costs[1] / costs[0] == pytest.approx(10_000, rel=0.01)
+
+
+def test_imbalance_factor_measured(benchmark, measured_profile, cost):
+    """§4.2: in the 1024³ test 'the imbalance between the fastest and
+    the slowest node is a factor of 15'.  Our measured mini run shows
+    the same few-to-tens factor across its ranks."""
+    node = benchmark(measured_profile.node_pairs)
+    imbalance = node.max() / max(node[node > 0].min(), 1.0)
+    save_result(
+        "center_imbalance",
+        f"measured per-rank center-work imbalance: {imbalance:.1f}x "
+        f"(paper test problem: 15x)",
+    )
+    assert imbalance > 2.0

@@ -1,0 +1,88 @@
+"""Table 1: Level 1/2/3 data product sizes at 1024³ and 8192³.
+
+Paper row (last step only):
+
+=========  ============  ============  ============
+run        Level 1       Level 2       Level 3
+=========  ============  ============  ============
+1024³      ~40 GB        ~5 GB         ~43 MB
+8192³      ~20 TB        ~4 TB         ~10 GB
+=========  ============  ============  ============
+"""
+
+import numpy as np
+
+from repro.core import qcontinuum_like_profile
+from repro.core.report import format_bytes, render_table
+from repro.io import DataLevelSizes
+
+from conftest import save_result
+
+
+def _sizes(profile, threshold):
+    return DataLevelSizes(
+        n_particles=profile.n_particles,
+        n_level2_particles=profile.level2_particles(threshold),
+        n_halos=profile.n_halos,
+    )
+
+
+def test_table1_sizes(benchmark, paper_profile):
+    threshold = 300_000
+    s1024 = benchmark(_sizes, paper_profile, threshold)
+    q = qcontinuum_like_profile()
+    s8192 = _sizes(q, threshold)
+
+    rows = [
+        [
+            "1024^3",
+            format_bytes(s1024.level1),
+            format_bytes(s1024.level2),
+            format_bytes(s1024.level3),
+            f"{s1024.reduction_factor:.1f}x",
+            "~40 GB / ~5 GB / ~43 MB",
+        ],
+        [
+            "8192^3",
+            format_bytes(s8192.level1),
+            format_bytes(s8192.level2),
+            format_bytes(s8192.level3),
+            f"{s8192.reduction_factor:.1f}x",
+            "~20 TB / ~4 TB / ~10 GB",
+        ],
+    ]
+    text = render_table(
+        ["Run", "Level 1", "Level 2", "Level 3", "L1/L2", "paper"],
+        rows,
+        title="Table 1: data levels, last step only (threshold 300k)",
+    )
+    save_result("table1", text)
+
+    # Level 1 exact by construction (36 B/particle)
+    assert s1024.level1 == 1024**3 * 36
+    assert s8192.level1 == 8192**3 * 36
+    # Level 2 reduction: paper ~5-8x; our synthetic mass function gives
+    # the same order (single-digit factor)
+    assert 3 < s8192.reduction_factor < 30
+    # Level 3 is MBs at 1024³ scale, GBs at 8192³
+    assert 10e6 < s1024.level3 < 100e6
+    assert 1e9 < s8192.level3 < 30e9
+
+
+def test_measured_reduction_factor(benchmark, bench_sim, measured_profile):
+    """The measured mini-run Level 2 fraction: with the threshold placed
+    at the same mass-function percentile as the paper's 300k, Level 2 is
+    a single-digit fraction of Level 1 — the compression that makes the
+    combined workflow win."""
+    counts = np.sort(measured_profile.halo_counts)
+    # paper: 84,719 / 167,686,789 of halos are above the threshold
+    q = 1.0 - 84_719 / 167_686_789
+    threshold = int(np.quantile(counts, q))
+    l2 = benchmark(measured_profile.level2_bytes, threshold)
+    ratio = measured_profile.level1_bytes / max(l2, 1)
+    save_result(
+        "table1_measured",
+        f"measured mini-run: L1={format_bytes(measured_profile.level1_bytes)} "
+        f"L2={format_bytes(l2)} reduction={ratio:.1f}x (threshold={threshold})",
+    )
+    assert l2 < measured_profile.level1_bytes

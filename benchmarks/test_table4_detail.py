@@ -1,0 +1,76 @@
+"""Table 4: per-phase time/core-hour breakdown of each workflow.
+
+Paper anchors (1024³ on 32 Titan nodes, last time step):
+
+* in-situ:   Sim 772  Analysis 722  Write 0.3   -> 399 core-h total
+* off-line:  Sim 779 + Write 5; post: Read 5, Redistribute 435,
+             Analysis 892, Write 0.3 -> post 355 core-h
+* combined:  Sim 774, Analysis 361, Write 3; post (4 nodes): Read 3,
+             Redistribute 75, Analysis 1075, Write 0.2 -> post 38 core-h
+"""
+
+import pytest
+
+from repro.core import (
+    CombinedWorkflow,
+    InSituOnlyWorkflow,
+    OfflineOnlyWorkflow,
+    table4,
+)
+from repro.machines import TITAN
+
+from conftest import save_result
+
+
+def test_table4_insitu(benchmark, paper_profile, cost):
+    report = benchmark(InSituOnlyWorkflow(cost, TITAN).evaluate, paper_profile)
+    save_result("table4_insitu", table4(report))
+    sim = report.simulation
+    assert sim.seconds("sim") == pytest.approx(772, rel=0.05)
+    assert sim.seconds("analysis") == pytest.approx(722, rel=0.3)
+    assert sim.seconds("write") < 2.0
+    assert report.simulation.core_hours == pytest.approx(399, rel=0.3)
+
+
+def test_table4_offline(benchmark, paper_profile, cost):
+    report = benchmark(OfflineOnlyWorkflow(cost, TITAN).evaluate, paper_profile)
+    save_result("table4_offline", table4(report))
+    assert report.simulation.seconds("write") == pytest.approx(5, rel=0.1)
+    post = report.postprocessing[0]
+    assert post.seconds("read") == pytest.approx(5, rel=0.1)
+    assert post.seconds("redistribute") == pytest.approx(435, rel=0.1)
+    assert post.seconds("analysis") == pytest.approx(892, rel=0.3)
+    assert post.core_hours == pytest.approx(355, rel=0.3)
+
+
+def test_table4_combined(benchmark, paper_profile, cost):
+    wf = CombinedWorkflow(cost, TITAN, threshold=300_000, n_offline_nodes=4)
+    report = benchmark(wf.evaluate, paper_profile)
+    save_result("table4_combined", table4(report))
+    sim = report.simulation
+    # in-situ part roughly halves vs the full analysis (361 vs 722)
+    assert sim.seconds("analysis") == pytest.approx(361, rel=0.35)
+    post = report.postprocessing[0]
+    assert post.nodes == 4
+    # Level 2 read is seconds, not minutes
+    assert post.seconds("read") < 10
+    # Level 2 redistribution is far below the Level 1 cost (75 vs 435)
+    assert post.seconds("redistribute") < 200
+    # post-processing cost is a small fraction of the off-line approach
+    assert post.core_hours < 100
+    # the combined total undercuts everything (Table 3: 135)
+    assert report.analysis_core_hours == pytest.approx(135, rel=0.3)
+
+
+def test_table4_phase_consistency(benchmark, paper_profile, cost):
+    """Internal consistency: the Table 3 number equals analysis+write of
+    the simulation job plus the whole post-processing job."""
+    wf = CombinedWorkflow(cost, TITAN, threshold=300_000, n_offline_nodes=4)
+    report = benchmark(wf.evaluate, paper_profile)
+    sim_part = sum(
+        p.core_hours
+        for p in report.simulation.phases
+        if p.name in ("analysis", "write")
+    )
+    post_part = sum(j.core_hours for j in report.postprocessing)
+    assert report.analysis_core_hours == pytest.approx(sim_part + post_part)

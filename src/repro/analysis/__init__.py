@@ -1,0 +1,73 @@
+"""Halo analysis algorithms (the CosmoTools algorithm library).
+
+FOF halo finding (serial k-d tree, vectorized grid, and distributed),
+MBP center finding (brute force on any backend, A*-style search, and
+approximations), SPH density + subhalo finding with unbinding, spherical
+overdensity masses, the power spectrum, and the halo mass function.
+"""
+
+from .bhtree import BarnesHutTree
+from .centers import (
+    CenterStats,
+    DEFAULT_SOFTENING,
+    approximate_center_densest_cell,
+    approximate_center_of_mass,
+    center_finding_cost,
+    halo_centers,
+    mbp_center_astar,
+    mbp_center_bruteforce,
+    potential_bruteforce,
+)
+from .fof import (
+    DEFAULT_MIN_COUNT,
+    FOFResult,
+    fof_grid,
+    fof_kdtree,
+    halo_groups,
+    parallel_fof,
+)
+from .kdtree import KDTree
+from .mass_function import MassFunction, mass_function, scale_counts, split_by_threshold
+from .power_spectrum import PowerSpectrumResult, measure_power_spectrum
+from .so import SOResult, so_mass, so_masses
+from .sph import cubic_spline_kernel, knn_neighbors, sph_density, tophat_density
+from .subhalos import DEFAULT_MIN_SUBHALO, SubhaloResult, find_subhalos, unbind_particles
+from .union_find import DisjointSet
+
+__all__ = [
+    "BarnesHutTree",
+    "CenterStats",
+    "DEFAULT_SOFTENING",
+    "approximate_center_densest_cell",
+    "approximate_center_of_mass",
+    "center_finding_cost",
+    "halo_centers",
+    "mbp_center_astar",
+    "mbp_center_bruteforce",
+    "potential_bruteforce",
+    "DEFAULT_MIN_COUNT",
+    "FOFResult",
+    "fof_grid",
+    "fof_kdtree",
+    "halo_groups",
+    "parallel_fof",
+    "KDTree",
+    "MassFunction",
+    "mass_function",
+    "scale_counts",
+    "split_by_threshold",
+    "PowerSpectrumResult",
+    "measure_power_spectrum",
+    "SOResult",
+    "so_mass",
+    "so_masses",
+    "cubic_spline_kernel",
+    "knn_neighbors",
+    "sph_density",
+    "tophat_density",
+    "DEFAULT_MIN_SUBHALO",
+    "SubhaloResult",
+    "find_subhalos",
+    "unbind_particles",
+    "DisjointSet",
+]

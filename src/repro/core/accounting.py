@@ -1,0 +1,128 @@
+"""Time and core-hour accounting for workflow evaluations (Tables 3 & 4).
+
+The paper's evaluation currency is the phase breakdown of Table 4 —
+Queuing / Sim / Analysis / Write for the simulation job, Queuing / Read /
+Redistribute / Analysis / Write for post-processing — with core-hours
+charged per facility policy (Titan: 30 core-hours per node-hour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machines.machine import MachineSpec
+
+__all__ = ["Phase", "JobLedger", "WorkflowReport"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One accounted phase of a job."""
+
+    name: str
+    seconds: float
+    nodes: int
+    machine: MachineSpec
+
+    @property
+    def core_hours(self) -> float:
+        return self.machine.core_hours(self.seconds, self.nodes)
+
+
+@dataclass
+class JobLedger:
+    """Phase breakdown of one batch job (simulation or post-processing)."""
+
+    name: str
+    machine: MachineSpec
+    nodes: int
+    phases: list[Phase] = field(default_factory=list)
+    queue_wait: float = 0.0
+
+    def add(self, name: str, seconds: float, nodes: int | None = None) -> Phase:
+        """Append a phase (defaults to the job's node count)."""
+        phase = Phase(
+            name=name,
+            seconds=float(seconds),
+            nodes=self.nodes if nodes is None else nodes,
+            machine=self.machine,
+        )
+        self.phases.append(phase)
+        return phase
+
+    def seconds(self, name: str) -> float:
+        """Total seconds across phases with this name (0 if absent)."""
+        return sum(p.seconds for p in self.phases if p.name == name)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time inside the job (excluding queue wait)."""
+        return sum(p.seconds for p in self.phases)
+
+    @property
+    def core_hours(self) -> float:
+        return sum(p.core_hours for p in self.phases)
+
+    def as_row(self) -> dict[str, float]:
+        """Phase-name -> seconds mapping plus totals (a Table 4 row)."""
+        row: dict[str, float] = {}
+        for p in self.phases:
+            row[p.name] = row.get(p.name, 0.0) + p.seconds
+        row["total"] = self.total_seconds
+        row["core_hours"] = self.core_hours
+        row["queue_wait"] = self.queue_wait
+        return row
+
+
+@dataclass
+class WorkflowReport:
+    """Full accounting of one workflow strategy evaluation.
+
+    ``analysis_core_hours`` follows Table 3's convention: "the sum of the
+    core hours for the analysis and write steps of the simulation run,
+    plus the total core hours for the post-processing run" — i.e. the
+    simulation's own compute is excluded, since every strategy pays it
+    identically.
+    """
+
+    name: str
+    simulation: JobLedger
+    postprocessing: list[JobLedger] = field(default_factory=list)
+    io_level: str = "none"
+    redistribute_level: str = "none"
+    queueing: str = "none"
+    notes: str = ""
+
+    @property
+    def analysis_core_hours(self) -> float:
+        sim_part = sum(
+            p.core_hours
+            for p in self.simulation.phases
+            if p.name in ("analysis", "write")
+        )
+        return sim_part + sum(j.core_hours for j in self.postprocessing)
+
+    @property
+    def total_core_hours(self) -> float:
+        """Everything, simulation compute included."""
+        return self.simulation.core_hours + sum(j.core_hours for j in self.postprocessing)
+
+    @property
+    def time_to_science(self) -> float:
+        """Wall-clock from simulation job start to last analysis output
+        (queue waits of post-processing included — the quantity
+        co-scheduling improves)."""
+        t = self.simulation.total_seconds
+        if self.postprocessing:
+            t += max(j.queue_wait + j.total_seconds for j in self.postprocessing)
+        return t
+
+    def summary(self) -> dict[str, object]:
+        """A Table 3 row."""
+        return {
+            "method": self.name,
+            "io": self.io_level,
+            "redistribute": self.redistribute_level,
+            "queueing": self.queueing,
+            "core_hours": round(self.analysis_core_hours, 1),
+        }

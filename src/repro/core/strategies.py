@@ -1,0 +1,325 @@
+"""The five analysis workflow strategies the paper compares (Tables 3/4).
+
+Each strategy prices a full simulation-plus-analysis campaign against a
+:class:`~repro.core.workload.WorkloadProfile` using the calibrated
+:class:`~repro.machines.cost.CostModel`:
+
+``InSituOnlyWorkflow``
+    All analysis inside the simulation job.  No I/O, no redistribution,
+    no extra queueing — but the slowest node (the one owning the largest
+    halo) dictates the analysis wall time across the whole allocation.
+
+``OfflineOnlyWorkflow``
+    Simulation writes Level 1; a post-processing job of equal size is
+    queued after it, reads, redistributes, and runs the full analysis.
+
+``CombinedWorkflow`` (variants ``simple`` / ``coscheduled`` /
+``intransit``)
+    In-situ: find all halos, centers for halos ≤ threshold, write the
+    Level 2 particles of the rest.  Off-line: a small job (node count
+    from the planner or fixed) analyzes the Level 2 data.  Variants
+    differ only in data path and queueing: ``simple`` queues one job
+    after the simulation; ``coscheduled`` submits one small job per
+    snapshot as the listener sees data (identical core-hours, shorter
+    time-to-science); ``intransit`` stages Level 2 in burst-buffer
+    memory (no file I/O, no queue).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..machines.cost import CostModel
+from ..machines.machine import MachineSpec, TITAN
+from ..machines.scheduler import Job, Scheduler
+from .accounting import JobLedger, WorkflowReport
+from .planner import lpt_assign, plan_split
+from .workload import WorkloadProfile
+
+__all__ = [
+    "WorkflowStrategy",
+    "InSituOnlyWorkflow",
+    "OfflineOnlyWorkflow",
+    "CombinedWorkflow",
+    "evaluate_all",
+]
+
+
+class WorkflowStrategy(ABC):
+    """Base: price one workflow strategy for a given workload."""
+
+    name: str = "abstract"
+
+    def __init__(self, cost: CostModel, machine: MachineSpec = TITAN):
+        self.cost = cost
+        self.machine = machine
+
+    @abstractmethod
+    def evaluate(self, profile: WorkloadProfile) -> WorkflowReport:
+        """Produce the full accounting for this strategy."""
+
+    # -- shared pieces -------------------------------------------------------
+
+    def _sim_ledger(self, profile: WorkloadProfile) -> JobLedger:
+        ledger = JobLedger(
+            name="simulation", machine=self.machine, nodes=profile.n_sim_nodes
+        )
+        ledger.queue_wait = self.machine.queue.expected_wait(
+            profile.n_sim_nodes, self.machine.n_nodes
+        )
+        ledger.add(
+            "sim",
+            self.cost.sim_seconds(profile.n_particles, profile.n_steps, profile.n_sim_nodes),
+        )
+        return ledger
+
+    def _find_seconds(self, profile: WorkloadProfile) -> float:
+        return self.cost.fof_seconds(profile.n_particles / profile.n_sim_nodes)
+
+    def _center_seconds_max_node(
+        self, profile: WorkloadProfile, mask: np.ndarray | None = None
+    ) -> float:
+        """Slowest-node in-situ center time (owner-node assignment)."""
+        node_pairs = profile.node_pairs(mask)
+        return float(
+            np.max(self.cost.center_seconds(node_pairs, self.machine, backend="gpu"))
+        )
+
+
+class InSituOnlyWorkflow(WorkflowStrategy):
+    """Everything inside the simulation allocation (paper's first set-up)."""
+
+    name = "in-situ"
+
+    def evaluate(self, profile: WorkloadProfile) -> WorkflowReport:
+        sim = self._sim_ledger(profile)
+        analysis = self._find_seconds(profile) + self._center_seconds_max_node(profile)
+        sim.add("analysis", analysis * profile.n_snapshots)
+        sim.add("write", self.cost.io_seconds(profile.level3_bytes, profile.n_sim_nodes))
+        return WorkflowReport(
+            name=self.name,
+            simulation=sim,
+            io_level="none",
+            redistribute_level="none",
+            queueing="none",
+            notes="slowest node dictates; no I/O or redistribution",
+        )
+
+
+class OfflineOnlyWorkflow(WorkflowStrategy):
+    """Write Level 1, analyze later in an equal-size job (second set-up)."""
+
+    name = "off-line"
+
+    def evaluate(self, profile: WorkloadProfile) -> WorkflowReport:
+        n = profile.n_sim_nodes
+        sim = self._sim_ledger(profile)
+        sim.add(
+            "write",
+            self.cost.io_seconds(profile.level1_bytes, n) * profile.n_snapshots,
+        )
+
+        post = JobLedger(name="post-processing", machine=self.machine, nodes=n)
+        post.queue_wait = self.machine.queue.expected_wait(n, self.machine.n_nodes)
+        per_step_read = self.cost.io_seconds(profile.level1_bytes, n)
+        per_step_redist = self.cost.redistribute_seconds(profile.level1_bytes, n)
+        per_step_analysis = self._find_seconds(profile) + self._center_seconds_max_node(
+            profile
+        )
+        post.add("read", per_step_read * profile.n_snapshots)
+        post.add("redistribute", per_step_redist * profile.n_snapshots)
+        post.add("analysis", per_step_analysis * profile.n_snapshots)
+        post.add("write", self.cost.io_seconds(profile.level3_bytes, n))
+        return WorkflowReport(
+            name=self.name,
+            simulation=sim,
+            postprocessing=[post],
+            io_level="Level 1",
+            redistribute_level="Level 1",
+            queueing="full",
+            notes="raw data retained for unforeseen analyses",
+        )
+
+
+class CombinedWorkflow(WorkflowStrategy):
+    """In-situ reduction + off-line analysis of Level 2 data (third set-up).
+
+    Parameters
+    ----------
+    threshold:
+        Off-load threshold in particles (None → use the automated
+        planner's ``m_max_io``); the paper's production value is 300,000.
+    n_offline_nodes:
+        Node count of the post-processing job(s); None → the planner's
+        ``T/t_max`` rule (the paper used 4 for the test problem).
+    variant:
+        ``"simple"``, ``"coscheduled"``, or ``"intransit"``.
+    analysis_machine:
+        Where the off-line jobs run (Titan by default; Moonlight in the
+        Q Continuum production campaign).
+    """
+
+    name = "combined"
+
+    def __init__(
+        self,
+        cost: CostModel,
+        machine: MachineSpec = TITAN,
+        threshold: int | None = 300_000,
+        n_offline_nodes: int | None = 4,
+        variant: str = "simple",
+        analysis_machine: MachineSpec | None = None,
+    ):
+        super().__init__(cost, machine)
+        if variant not in ("simple", "coscheduled", "intransit"):
+            raise ValueError(f"unknown variant {variant!r}")
+        self.threshold = threshold
+        self.n_offline_nodes = n_offline_nodes
+        self.variant = variant
+        self.analysis_machine = analysis_machine or machine
+        self.name = f"combined/{variant}"
+
+    def evaluate(self, profile: WorkloadProfile) -> WorkflowReport:
+        cost = self.cost
+        plan = plan_split(profile, cost, self.machine, self.analysis_machine)
+        threshold = self.threshold if self.threshold is not None else (
+            plan.threshold or profile.largest_halo
+        )
+        offload_mask = profile.halo_counts > threshold
+        small_mask = ~offload_mask
+        l2_bytes = profile.level2_bytes(threshold)
+        n_off = self.n_offline_nodes or max(plan.n_offline_ranks, 1)
+
+        # --- simulation job: sim + in-situ reduction + Level 2 out
+        sim = self._sim_ledger(profile)
+        insitu = self._find_seconds(profile) + self._center_seconds_max_node(
+            profile, small_mask
+        )
+        sim.add("analysis", insitu * profile.n_snapshots)
+        if self.variant == "intransit":
+            # Level 2 staged in shared burst-buffer memory: no file I/O
+            write = 0.0
+        else:
+            write = cost.io_seconds(l2_bytes, profile.n_sim_nodes)
+        write += cost.io_seconds(profile.level3_bytes, profile.n_sim_nodes)
+        sim.add("write", write * profile.n_snapshots)
+
+        # --- off-line job(s): Level 2 in, centers for the large halos
+        off_machine = self.analysis_machine
+        pairs_off = profile.pair_counts()[offload_mask]
+        weights_off = profile.halo_weight[offload_mask]
+        if len(pairs_off):
+            seconds_off = np.asarray(
+                cost.center_seconds(pairs_off, off_machine, backend="gpu"), dtype=float
+            )
+            if np.all(weights_off == 1):
+                assignment = lpt_assign(seconds_off, n_off)
+                rank_seconds = np.bincount(
+                    assignment, weights=seconds_off, minlength=n_off
+                )
+                centers_off = float(rank_seconds.max())
+            else:
+                # weighted entries represent many identical jobs: the LPT
+                # makespan is bounded below by max(t_max, total / ranks)
+                total = float((seconds_off * weights_off).sum())
+                centers_off = max(float(seconds_off.max()), total / n_off)
+        else:
+            centers_off = 0.0
+
+        post = JobLedger(
+            name=f"post-processing ({self.variant})", machine=off_machine, nodes=n_off
+        )
+        if self.variant == "intransit":
+            post.queue_wait = 0.0
+            post.add("read", 0.0)
+        else:
+            post.queue_wait = off_machine.queue.expected_wait(n_off, off_machine.n_nodes)
+            post.add("read", cost.io_seconds(l2_bytes, n_off) * profile.n_snapshots)
+        post.add(
+            "redistribute",
+            cost.redistribute_seconds(l2_bytes, n_off) * profile.n_snapshots,
+        )
+        post.add("analysis", centers_off * profile.n_snapshots)
+        post.add("write", cost.io_seconds(profile.level3_bytes, n_off))
+
+        queueing = {
+            "simple": "partial",
+            "coscheduled": "partial simult",
+            "intransit": "partial simult",
+        }[self.variant]
+        io_level = "none" if self.variant == "intransit" else "Level 2"
+        report = WorkflowReport(
+            name=self.name,
+            simulation=sim,
+            postprocessing=[post],
+            io_level=io_level,
+            redistribute_level="Level 2",
+            queueing=queueing,
+            notes=f"threshold={threshold}, off-line nodes={n_off}, "
+            f"planner suggests {plan.n_offline_ranks or 'all in-situ'}",
+        )
+        if self.variant == "coscheduled":
+            report.notes += "; jobs queued per snapshot by the listener"
+        return report
+
+    def coscheduled_makespan(self, profile: WorkflowReport | WorkloadProfile) -> float:
+        """Simulate the co-scheduled campaign's time-to-science.
+
+        Submits one analysis job per snapshot at the time the snapshot's
+        Level 2 data appears during the simulation, and runs the
+        facility scheduler to measure when the last analysis finishes.
+        Compare with the ``simple`` variant, where one job covering all
+        snapshots queues after the simulation ends.
+        """
+        if isinstance(profile, WorkflowReport):
+            raise TypeError("pass the WorkloadProfile")
+        report = self.evaluate(profile)
+        sim_total = report.simulation.total_seconds
+        n_snaps = profile.n_snapshots
+        per_snap = sim_total / n_snaps
+        post = report.postprocessing[0]
+        per_job = post.total_seconds / n_snaps
+
+        sched = Scheduler(self.analysis_machine)
+        jobs = []
+        for s in range(n_snaps):
+            jobs.append(
+                sched.submit(
+                    Job(
+                        name=f"analysis_step{s}",
+                        n_nodes=post.nodes,
+                        duration=per_job,
+                        submit_time=(s + 1) * per_snap,
+                    )
+                )
+            )
+        return sched.run()
+
+
+def evaluate_all(
+    profile: WorkloadProfile,
+    cost: CostModel,
+    machine: MachineSpec = TITAN,
+    threshold: int | None = 300_000,
+    n_offline_nodes: int | None = 4,
+    analysis_machine: MachineSpec | None = None,
+) -> list[WorkflowReport]:
+    """Evaluate the five strategies of Table 3 on one workload."""
+    out = [
+        InSituOnlyWorkflow(cost, machine).evaluate(profile),
+        OfflineOnlyWorkflow(cost, machine).evaluate(profile),
+    ]
+    for variant in ("simple", "coscheduled", "intransit"):
+        out.append(
+            CombinedWorkflow(
+                cost,
+                machine,
+                threshold=threshold,
+                n_offline_nodes=n_offline_nodes,
+                variant=variant,
+                analysis_machine=analysis_machine,
+            ).evaluate(profile)
+        )
+    return out

@@ -1,0 +1,65 @@
+"""Common operator functors used with the data-parallel primitives.
+
+These correspond to Thrust's ``thrust::plus``, ``thrust::minimum`` etc.,
+plus a handful of domain-specific functors used by the halo analysis
+algorithms (pairwise gravitational potential terms, periodic distances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "add",
+    "mul",
+    "min_",
+    "max_",
+    "periodic_delta",
+    "periodic_distance_sq",
+    "pair_potential",
+]
+
+
+def add(a, b):
+    """Binary addition (works elementwise on arrays)."""
+    return a + b
+
+
+def mul(a, b):
+    """Binary multiplication (works elementwise on arrays)."""
+    return a * b
+
+
+def min_(a, b):
+    """Binary minimum."""
+    return np.minimum(a, b)
+
+
+def max_(a, b):
+    """Binary maximum."""
+    return np.maximum(a, b)
+
+
+def periodic_delta(a, b, box: float):
+    """Minimum-image coordinate difference ``a - b`` in a periodic box."""
+    d = a - b
+    return d - box * np.round(d / box)
+
+
+def periodic_distance_sq(p, q, box: float):
+    """Squared minimum-image distance between points ``p`` and ``q``.
+
+    ``p`` and ``q`` are arrays whose last axis is the spatial dimension.
+    """
+    d = periodic_delta(np.asarray(p), np.asarray(q), box)
+    return np.sum(d * d, axis=-1)
+
+
+def pair_potential(dist, mass, softening: float = 1.0e-7):
+    """Contribution ``-m / (d + eps)`` of one particle pair to the potential.
+
+    The small constant offset mirrors the paper's note that "a small
+    constant offset term may be added to the distance to avoid numerical
+    issues caused by extremely close particles".
+    """
+    return -mass / (dist + softening)

@@ -1,0 +1,247 @@
+"""Data-parallel primitives in the style of Thrust / PISTON.
+
+Every primitive is written once against the :class:`~repro.dataparallel.backends.Backend`
+interface and therefore runs unchanged on the ``serial`` and ``vector``
+backends.  This mirrors the paper's portability claim: a single
+implementation of, e.g., the most-bound-particle center finder targets
+GPUs, multi-core, and many-core architectures through Thrust.
+
+All primitives accept an optional ``backend=`` keyword (a name or a
+:class:`Backend` instance).  When omitted the thread-local default set by
+:func:`repro.dataparallel.backends.set_default_backend` is used.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .backends import Backend, get_backend
+
+__all__ = [
+    "map_",
+    "reduce_",
+    "inclusive_scan",
+    "exclusive_scan",
+    "sort_by_key",
+    "reduce_by_key",
+    "gather",
+    "scatter",
+    "unique",
+    "count_if",
+    "partition",
+    "compact",
+    "minloc",
+    "segmented_minloc",
+    "zip_arrays",
+]
+
+
+def map_(fn: Callable, *arrays: np.ndarray, backend: str | Backend | None = None) -> np.ndarray:
+    """Elementwise ``fn`` over equally-sized arrays (Thrust ``transform``)."""
+    return get_backend(backend).map(fn, *arrays)
+
+
+def reduce_(
+    array: np.ndarray,
+    op: Callable[[Any, Any], Any] = np.add,
+    init: Any = 0,
+    backend: str | Backend | None = None,
+) -> Any:
+    """Fold ``array`` with associative ``op`` (Thrust ``reduce``)."""
+    return get_backend(backend).reduce(np.asarray(array), op, init)
+
+
+def inclusive_scan(
+    array: np.ndarray,
+    op: Callable[[Any, Any], Any] = np.add,
+    init: Any = 0,
+    backend: str | Backend | None = None,
+) -> np.ndarray:
+    """Inclusive prefix scan (Thrust ``inclusive_scan``)."""
+    return get_backend(backend).scan(np.asarray(array), op, exclusive=False, init=init)
+
+
+def exclusive_scan(
+    array: np.ndarray,
+    op: Callable[[Any, Any], Any] = np.add,
+    init: Any = 0,
+    backend: str | Backend | None = None,
+) -> np.ndarray:
+    """Exclusive prefix scan (Thrust ``exclusive_scan``)."""
+    return get_backend(backend).scan(np.asarray(array), op, exclusive=True, init=init)
+
+
+def sort_by_key(
+    keys: np.ndarray, *values: np.ndarray, backend: str | Backend | None = None
+) -> tuple[np.ndarray, ...]:
+    """Stable key/value sort (Thrust ``sort_by_key``).
+
+    Returns ``(sorted_keys, sorted_value_0, ...)``.
+    """
+    return get_backend(backend).sort_by_key(np.asarray(keys), *values)
+
+
+def reduce_by_key(
+    keys: np.ndarray,
+    values: np.ndarray,
+    op: str = "sum",
+    *,
+    presorted: bool = False,
+    backend: str | Backend | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Segmented reduction over equal keys (Thrust ``reduce_by_key``).
+
+    Unlike Thrust, keys need not be presorted unless ``presorted=True``
+    (sorting is performed internally otherwise).
+    """
+    be = get_backend(backend)
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    if not presorted:
+        keys, values = be.sort_by_key(keys, values)
+    return be.reduce_by_key(keys, values, op)
+
+
+def gather(
+    indices: np.ndarray, source: np.ndarray, backend: str | Backend | None = None
+) -> np.ndarray:
+    """``source[indices]`` (Thrust ``gather``)."""
+    return get_backend(backend).gather(np.asarray(indices), np.asarray(source))
+
+
+def scatter(
+    values: np.ndarray,
+    indices: np.ndarray,
+    out: np.ndarray,
+    backend: str | Backend | None = None,
+) -> np.ndarray:
+    """Write ``values`` to ``out[indices]`` in place (Thrust ``scatter``)."""
+    return get_backend(backend).scatter(np.asarray(values), np.asarray(indices), out)
+
+
+def unique(keys: np.ndarray, backend: str | Backend | None = None) -> np.ndarray:
+    """Unique values of ``keys`` in ascending order."""
+    be = get_backend(backend)
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return keys
+    (sorted_keys,) = be.sort_by_key(keys)
+    uk, _ = be.reduce_by_key(sorted_keys, np.ones(len(sorted_keys), dtype=np.intp), "count")
+    return uk
+
+
+def count_if(
+    array: np.ndarray, predicate: Callable, backend: str | Backend | None = None
+) -> int:
+    """Number of elements satisfying ``predicate`` (Thrust ``count_if``)."""
+    be = get_backend(backend)
+    flags = be.map(predicate, np.asarray(array))
+    return int(be.reduce(np.asarray(flags, dtype=np.intp), np.add, 0))
+
+
+def partition(
+    array: np.ndarray, predicate: Callable, backend: str | Backend | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stable partition into (satisfying, not-satisfying) halves."""
+    be = get_backend(backend)
+    array = np.asarray(array)
+    flags = np.asarray(be.map(predicate, array), dtype=bool)
+    return array[flags], array[~flags]
+
+
+def compact(
+    array: np.ndarray, flags: np.ndarray, backend: str | Backend | None = None
+) -> np.ndarray:
+    """Select elements where ``flags`` is truthy (stream compaction).
+
+    Implemented with the classic scan-and-scatter idiom so it exercises
+    the backend's ``scan``/``scatter`` path rather than boolean indexing.
+    """
+    be = get_backend(backend)
+    array = np.asarray(array)
+    flags = np.asarray(flags, dtype=np.intp)
+    if array.size == 0:
+        return array
+    positions = be.scan(flags, np.add, exclusive=True, init=0)
+    total = int(positions[-1] + flags[-1])
+    out = np.empty(total, dtype=array.dtype)
+    keep = flags.astype(bool)
+    be.scatter(array[keep], np.asarray(positions)[keep], out)
+    return out
+
+
+def minloc(
+    values: np.ndarray, backend: str | Backend | None = None
+) -> tuple[int, Any]:
+    """Index and value of the minimum element (Thrust ``min_element``)."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("minloc of empty array")
+    be = get_backend(backend)
+    if isinstance(be, type(get_backend("vector"))) and be.name == "vector":
+        idx = int(np.argmin(values))
+        return idx, values[idx]
+    best_i, best_v = 0, values[0]
+    for i in range(1, len(values)):
+        if values[i] < best_v:
+            best_i, best_v = i, values[i]
+    return best_i, best_v
+
+
+def segmented_minloc(
+    keys: np.ndarray,
+    values: np.ndarray,
+    payload: np.ndarray,
+    backend: str | Backend | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment argmin: for each unique key, the payload of the minimum value.
+
+    This is the core idiom of the parallel MBP center finder: keys are halo
+    tags, values are particle potentials, payload is the particle index, and
+    the result is each halo's most-bound particle.
+
+    Returns ``(unique_keys, min_values, payload_at_min)``.
+    """
+    be = get_backend(backend)
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    payload = np.asarray(payload)
+    if not (len(keys) == len(values) == len(payload)):
+        raise ValueError("keys, values, payload must have equal length")
+    if keys.size == 0:
+        return keys, values, payload
+    skeys, svalues, spayload = be.sort_by_key(keys, values, payload)
+    uk, minv = be.reduce_by_key(skeys, svalues, "min")
+    # Recover payload: first element in each segment equal to the minimum.
+    if be.name == "vector":
+        boundaries = np.empty(skeys.size, dtype=bool)
+        boundaries[0] = True
+        boundaries[1:] = skeys[1:] != skeys[:-1]
+        seg_id = np.cumsum(boundaries) - 1
+        is_min = svalues == minv[seg_id]
+        # first hit per segment wins (stable)
+        first_hit = np.zeros(len(uk), dtype=np.intp)
+        hit_positions = np.flatnonzero(is_min)
+        hit_segments = seg_id[hit_positions]
+        # reversed scatter keeps the earliest position per segment
+        first_hit[hit_segments[::-1]] = hit_positions[::-1]
+        return uk, minv, spayload[first_hit]
+    out_payload = np.empty(len(uk), dtype=payload.dtype)
+    pos = 0
+    for s in range(len(uk)):
+        best_v = None
+        best_p = None
+        while pos < len(skeys) and skeys[pos] == uk[s]:
+            if best_v is None or svalues[pos] < best_v:
+                best_v = svalues[pos]
+                best_p = spayload[pos]
+            pos += 1
+        out_payload[s] = best_p
+    return uk, minv, out_payload
+
+
+def zip_arrays(*arrays: Sequence) -> np.ndarray:
+    """Column-stack 1-D arrays into an ``(n, k)`` array (Thrust ``zip_iterator``)."""
+    return np.column_stack([np.asarray(a) for a in arrays])

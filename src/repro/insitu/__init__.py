@@ -1,0 +1,43 @@
+"""CosmoTools: the in-situ analysis framework embedded in the simulation.
+
+``InSituAlgorithm`` (set_parameters / should_execute / execute),
+``InSituAnalysisManager`` (the hook the simulation calls each step),
+configuration parsing (input deck + CosmoTools config), and the concrete
+analysis algorithms.
+"""
+
+from .algorithm import AnalysisContext, InSituAlgorithm
+from .algorithms import (
+    ALGORITHM_REGISTRY,
+    HaloCenterAlgorithm,
+    HaloFinderAlgorithm,
+    Level1WriterAlgorithm,
+    Level2StageAlgorithm,
+    Level2WriterAlgorithm,
+    PowerSpectrumAlgorithm,
+    SOMassAlgorithm,
+    SubhaloFinderAlgorithm,
+    tag_index_map,
+)
+from .config import CosmoToolsConfig, InputDeck, parse_deck, parse_value
+from .manager import InSituAnalysisManager
+
+__all__ = [
+    "AnalysisContext",
+    "InSituAlgorithm",
+    "ALGORITHM_REGISTRY",
+    "HaloCenterAlgorithm",
+    "HaloFinderAlgorithm",
+    "Level1WriterAlgorithm",
+    "Level2StageAlgorithm",
+    "Level2WriterAlgorithm",
+    "PowerSpectrumAlgorithm",
+    "SOMassAlgorithm",
+    "SubhaloFinderAlgorithm",
+    "tag_index_map",
+    "CosmoToolsConfig",
+    "InputDeck",
+    "parse_deck",
+    "parse_value",
+    "InSituAnalysisManager",
+]

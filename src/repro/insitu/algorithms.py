@@ -1,0 +1,516 @@
+"""Concrete CosmoTools algorithms.
+
+The five analysis tasks of the paper's §4.1 plus the data writers:
+
+1. :class:`PowerSpectrumAlgorithm` — CIC density + FFT P(k).
+2. :class:`HaloFinderAlgorithm` — distributed FOF over simulated ranks.
+3. :class:`HaloCenterAlgorithm` — MBP centers with the in-situ/off-load
+   threshold split (the heart of the combined workflow).
+4. :class:`SubhaloFinderAlgorithm` — subhalos for large parents.
+5. :class:`SOMassAlgorithm` — spherical-overdensity masses at centers.
+
+Writers: :class:`Level1WriterAlgorithm` (full raw snapshot, off-line
+workflow) and :class:`Level2WriterAlgorithm` (particles of off-loaded
+halos only, combined workflow).
+
+Each algorithm records per-rank wall-clock times in the step's
+:class:`~repro.insitu.algorithm.AnalysisContext`, which is how the
+workflow engine measures the load imbalance the paper reports (Table 2,
+Figure 4).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+import numpy as np
+
+from ..analysis.centers import halo_centers
+from ..analysis.fof import parallel_fof
+from ..analysis.power_spectrum import measure_power_spectrum
+from ..analysis.so import so_mass
+from ..analysis.subhalos import find_subhalos
+from ..io.catalog import HaloCatalog
+from ..io.genericio import write_genericio
+from ..parallel.communicator import run_spmd
+from ..parallel.decomposition import CartesianDecomposition
+from .algorithm import AnalysisContext, InSituAlgorithm
+
+__all__ = [
+    "ALGORITHM_REGISTRY",
+    "HaloCenterAlgorithm",
+    "HaloFinderAlgorithm",
+    "Level1WriterAlgorithm",
+    "Level2StageAlgorithm",
+    "Level2WriterAlgorithm",
+    "PowerSpectrumAlgorithm",
+    "SOMassAlgorithm",
+    "SubhaloFinderAlgorithm",
+    "tag_index_map",
+]
+
+
+def tag_index_map(tags: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``map[tag] = index`` for dense uint64 tags."""
+    tags = np.asarray(tags)
+    out = np.empty(int(tags.max()) + 1 if len(tags) else 0, dtype=np.intp)
+    out[tags] = np.arange(len(tags), dtype=np.intp)
+    return out
+
+
+class _Scheduled(InSituAlgorithm):
+    """Scheduling mixin: run at listed steps, at an interval, or always."""
+
+    at_steps: list[int] | int | None = None
+    every: int | None = None
+
+    def should_execute(self, step: int, a: float) -> bool:
+        if self.at_steps is not None:
+            steps = self.at_steps if isinstance(self.at_steps, list) else [self.at_steps]
+            return step in steps
+        if self.every is not None:
+            return step > 0 and step % int(self.every) == 0
+        return True
+
+
+class PowerSpectrumAlgorithm(_Scheduled):
+    """In-situ density-fluctuation power spectrum (paper §1).
+
+    Parameters: ``ng`` (FFT mesh, default = simulation mesh), ``n_bins``.
+    Stores a :class:`~repro.analysis.power_spectrum.PowerSpectrumResult`
+    under ``"power_spectrum"``.
+    """
+
+    name = "power_spectrum"
+    ng: int | None = None
+    n_bins: int | None = None
+
+    def execute(self, sim, context: AnalysisContext) -> None:
+        ng = self.ng if self.ng is not None else sim.config.mesh_size
+        result = measure_power_spectrum(
+            sim.particles.pos, box=sim.config.box, ng=ng, n_bins=self.n_bins
+        )
+        context.store["power_spectrum"] = result
+
+
+class HaloFinderAlgorithm(_Scheduled):
+    """Distributed FOF halo identification (paper §3.3.1).
+
+    Parameters
+    ----------
+    linking_length_factor:
+        ``b`` in units of the mean interparticle separation (0.2 here
+        and throughout cosmology, the HACC production value, unless
+        ``linking_length`` overrides with an absolute length).
+    min_count:
+        Discard halos below this many particles.
+    n_ranks:
+        Simulated analysis ranks (the paper's Titan nodes).
+    overload_factor:
+        Overload width in linking lengths; must comfortably exceed the
+        maximum halo extent over the linking length.
+
+    Stores under ``"fof"``: ``halos`` (halo tag -> member particle
+    tags), ``owner_rank`` (halo tag -> rank), ``counts``,
+    ``rank_seconds`` (per-rank wall time: the Find column of Table 2).
+    """
+
+    name = "halo_finder"
+    linking_length: float | None = None
+    linking_length_factor: float = 0.2
+    min_count: int = 40
+    n_ranks: int = 8
+    overload_factor: float = 8.0
+    local_finder: str = "grid"
+
+    def execute(self, sim, context: AnalysisContext) -> None:
+        box = sim.config.box
+        mean_sep = box / sim.config.np_per_dim
+        ll = self.linking_length if self.linking_length else self.linking_length_factor * mean_sep
+        overload = self.overload_factor * ll
+        pos = np.asarray(sim.particles.pos, dtype=float)
+        tags = np.asarray(sim.particles.tag, dtype=np.int64)
+        decomp = CartesianDecomposition.for_ranks(box, self.n_ranks)
+
+        def prog(comm):
+            owners = decomp.rank_of_position(pos)
+            mine = owners == comm.rank
+            t0 = time.perf_counter()
+            halos = parallel_fof(
+                comm,
+                decomp,
+                pos[mine],
+                tags[mine],
+                linking_length=ll,
+                overload_width=overload,
+                min_count=self.min_count,
+                local_finder=self.local_finder,
+            )
+            return halos, time.perf_counter() - t0
+
+        results = run_spmd(self.n_ranks, prog)
+        halos: dict[int, np.ndarray] = {}
+        owner_rank: dict[int, int] = {}
+        rank_seconds = []
+        for rank, (rhalos, secs) in enumerate(results):
+            rank_seconds.append(secs)
+            for tag, members in rhalos.items():
+                halos[tag] = members
+                owner_rank[tag] = rank
+        context.store["fof"] = {
+            "halos": halos,
+            "owner_rank": owner_rank,
+            "counts": {t: len(m) for t, m in halos.items()},
+            "linking_length": ll,
+            "n_ranks": self.n_ranks,
+            "decomp": decomp,
+        }
+        context.timings["halo_finder_rank_seconds"] = rank_seconds
+
+
+class HaloCenterAlgorithm(_Scheduled):
+    """MBP center finding with the in-situ/off-load split (paper §4).
+
+    Halos with at most ``threshold`` particles get centers in-situ;
+    larger halos are flagged for off-loading.  Per-rank times are
+    measured by executing each simulated rank's owned-halo workload and
+    timing it (the Center column of Table 2; with ``threshold=None``
+    everything is computed in-situ, the full-in-situ workflow).
+
+    Stores under ``"centers"``: a :class:`HaloCatalog` of the in-situ
+    centers, the list of off-loaded halo tags, and per-rank seconds.
+    """
+
+    name = "halo_centers"
+    threshold: int | None = 300_000
+    method: str = "bruteforce"
+    backend: str = "vector"
+    softening: float = 1.0e-5
+
+    def execute(self, sim, context: AnalysisContext) -> None:
+        fof = context.require("fof")
+        pos = np.asarray(sim.particles.pos, dtype=float)
+        tags = np.asarray(sim.particles.tag, dtype=np.int64)
+        index_of = tag_index_map(tags)
+        halos: dict[int, np.ndarray] = fof["halos"]
+        owner_rank: dict[int, int] = fof["owner_rank"]
+        n_ranks: int = fof["n_ranks"]
+
+        threshold = self.threshold if self.threshold is not None else np.inf
+        offloaded = [t for t, m in halos.items() if len(m) > threshold]
+        insitu_tags = [t for t, m in halos.items() if len(m) <= threshold]
+
+        cat_tags: list[int] = []
+        cat_counts: list[int] = []
+        cat_centers: list[np.ndarray] = []
+        cat_mbp: list[int] = []
+        cat_phi: list[float] = []
+        rank_seconds = np.zeros(n_ranks)
+        rank_pairs = np.zeros(n_ranks, dtype=np.int64)
+
+        by_rank: dict[int, list[int]] = {}
+        for t in insitu_tags:
+            by_rank.setdefault(owner_rank[t], []).append(t)
+
+        for rank in range(n_ranks):
+            t0 = time.perf_counter()
+            for halo_tag in by_rank.get(rank, []):
+                members = halos[halo_tag]
+                idx = index_of[members]
+                hpos = pos[idx]
+                res = halo_centers(
+                    hpos,
+                    members,
+                    np.full(len(members), halo_tag, dtype=np.int64),
+                    mass=sim.particles.particle_mass,
+                    softening=self.softening,
+                    method=self.method,
+                    backend=self.backend,
+                )
+                cat_tags.append(halo_tag)
+                cat_counts.append(len(members))
+                cat_centers.append(res.centers[0])
+                cat_mbp.append(int(res.mbp_tags[0]))
+                cat_phi.append(float(res.potentials[0]))
+                rank_pairs[rank] += int(res.stats.pair_evaluations)
+            rank_seconds[rank] = time.perf_counter() - t0
+
+        catalog = HaloCatalog.from_columns(
+            halo_tag=np.asarray(cat_tags, dtype=np.uint64),
+            count=np.asarray(cat_counts, dtype=np.int64),
+            center=np.asarray(cat_centers) if cat_centers else np.empty((0, 3)),
+            mbp_tag=np.asarray(cat_mbp, dtype=np.uint64),
+            potential=np.asarray(cat_phi),
+            particle_mass=sim.particles.particle_mass,
+        )
+        context.store["centers"] = {
+            "catalog": catalog,
+            "offloaded_halo_tags": sorted(offloaded),
+            "threshold": self.threshold,
+        }
+        context.timings["center_rank_seconds"] = rank_seconds.tolist()
+        context.timings["center_rank_pairs"] = rank_pairs.tolist()
+
+
+class SubhaloFinderAlgorithm(_Scheduled):
+    """Subhalo identification for large parent halos (paper §3.3.1/§4.2).
+
+    Runs on parents above ``min_parent`` particles (paper: 5000 —
+    "smaller halos will not exhibit much substructure").  Stores per-halo
+    subhalo results and per-rank times; the workflow uses the latter for
+    the subhalo imbalance result (8172 s vs 1457 s on 32 nodes).
+    """
+
+    name = "subhalo_finder"
+    min_parent: int = 5000
+    k_density: int = 32
+    min_size: int = 20
+
+    def execute(self, sim, context: AnalysisContext) -> None:
+        fof = context.require("fof")
+        pos = np.asarray(sim.particles.pos, dtype=float)
+        vel = np.asarray(sim.particles.vel, dtype=float)
+        tags = np.asarray(sim.particles.tag, dtype=np.int64)
+        index_of = tag_index_map(tags)
+        halos: dict[int, np.ndarray] = fof["halos"]
+        owner_rank: dict[int, int] = fof["owner_rank"]
+        n_ranks: int = fof["n_ranks"]
+        a = context.a
+        cosmo = sim.cosmo
+        box = sim.config.box
+        rho_mean = len(pos) * sim.particles.particle_mass / box**3
+        g_code = 3.0 * cosmo.omega_m / (8.0 * np.pi * a * rho_mean)
+
+        rank_seconds = np.zeros(n_ranks)
+        results: dict[int, Any] = {}
+        by_rank: dict[int, list[int]] = {}
+        for t, m in halos.items():
+            if len(m) > self.min_parent:
+                by_rank.setdefault(owner_rank[t], []).append(t)
+
+        for rank in range(n_ranks):
+            t0 = time.perf_counter()
+            for halo_tag in by_rank.get(rank, []):
+                idx = index_of[halos[halo_tag]]
+                # halo-local frame: unwrap periodic coordinates about the
+                # first member so distances are physical
+                hpos = pos[idx].copy()
+                hpos -= box * np.round((hpos - hpos[0]) / box)
+                hvel = vel[idx] / a  # proper peculiar velocity proxy
+                results[halo_tag] = find_subhalos(
+                    hpos,
+                    hvel,
+                    mass=sim.particles.particle_mass,
+                    g_constant=g_code,
+                    k_density=self.k_density,
+                    min_size=self.min_size,
+                )
+            rank_seconds[rank] = time.perf_counter() - t0
+
+        context.store["subhalos"] = {"by_halo": results, "min_parent": self.min_parent}
+        context.timings["subhalo_rank_seconds"] = rank_seconds.tolist()
+
+
+class SOMassAlgorithm(_Scheduled):
+    """Spherical-overdensity masses seeded at the MBP centers (task 5)."""
+
+    name = "so_mass"
+    delta: float = 200.0
+
+    def execute(self, sim, context: AnalysisContext) -> None:
+        centers = context.require("centers")
+        fof = context.require("fof")
+        catalog: HaloCatalog = centers["catalog"]
+        pos = np.asarray(sim.particles.pos, dtype=float)
+        tags = np.asarray(sim.particles.tag, dtype=np.int64)
+        index_of = tag_index_map(tags)
+        box = sim.config.box
+        rho_mean = len(pos) * sim.particles.particle_mass / box**3
+
+        out = {}
+        for rec in catalog.records:
+            halo_tag = int(rec["halo_tag"])
+            members = fof["halos"][halo_tag]
+            idx = index_of[members]
+            center = np.asarray([rec["center_x"], rec["center_y"], rec["center_z"]])
+            out[halo_tag] = so_mass(
+                pos[idx],
+                center,
+                particle_mass=sim.particles.particle_mass,
+                reference_density=rho_mean,
+                delta=self.delta,
+                box=box,
+            )
+        context.store["so_mass"] = out
+
+
+class Level1WriterAlgorithm(_Scheduled):
+    """Write the full raw particle snapshot (Level 1) to storage.
+
+    Used by the off-line workflow; one GenericIO block per simulated
+    rank.  Stores the written path and byte count under ``"level1"``.
+    """
+
+    name = "level1_writer"
+    output_dir: str = "."
+    n_ranks: int = 8
+
+    def execute(self, sim, context: AnalysisContext) -> None:
+        pos = np.asarray(sim.particles.pos, dtype=np.float32)
+        vel = np.asarray(sim.particles.vel, dtype=np.float32)
+        tags = np.asarray(sim.particles.tag, dtype=np.uint64)
+        mask = np.asarray(sim.particles.mask, dtype=np.uint32)
+        decomp = CartesianDecomposition.for_ranks(sim.config.box, self.n_ranks)
+        owners = decomp.rank_of_position(pos)
+        blocks = []
+        for rank in range(self.n_ranks):
+            sel = owners == rank
+            blocks.append(
+                {"pos": pos[sel], "vel": vel[sel], "tag": tags[sel], "mask": mask[sel]}
+            )
+        os.makedirs(self.output_dir, exist_ok=True)
+        path = os.path.join(self.output_dir, f"l1_step{context.step:04d}.gio")
+        t0 = time.perf_counter()
+        nbytes = write_genericio(path, blocks)
+        context.store["level1"] = {"path": path, "bytes": nbytes}
+        context.timings["level1_write_seconds"] = time.perf_counter() - t0
+
+
+class Level2WriterAlgorithm(_Scheduled):
+    """Write the off-loaded halos' particles (Level 2) to storage.
+
+    The combined workflow's reduction step: only particles belonging to
+    halos above the threshold are written ("we printed out all the
+    particles that reside in halos with more than 300,000 particles to
+    the file system — the resulting data was a factor of 5 less than the
+    raw data").  Each owning rank contributes one block; the per-block
+    layout is what lets the co-scheduled analysis jobs each read a
+    single block (the Moonlight 128x128 scheme).
+    """
+
+    name = "level2_writer"
+    output_dir: str = "."
+
+    def execute(self, sim, context: AnalysisContext) -> None:
+        fof = context.require("fof")
+        centers = context.require("centers")
+        offloaded = centers["offloaded_halo_tags"]
+        pos = np.asarray(sim.particles.pos, dtype=np.float32)
+        vel = np.asarray(sim.particles.vel, dtype=np.float32)
+        tags = np.asarray(sim.particles.tag, dtype=np.int64)
+        index_of = tag_index_map(tags)
+        owner_rank = fof["owner_rank"]
+        n_ranks = fof["n_ranks"]
+
+        per_rank: dict[int, list[tuple[int, np.ndarray]]] = {}
+        for halo_tag in offloaded:
+            per_rank.setdefault(owner_rank[halo_tag], []).append(
+                (halo_tag, fof["halos"][halo_tag])
+            )
+        blocks = []
+        for rank in range(n_ranks):
+            parts = per_rank.get(rank, [])
+            if parts:
+                idx = np.concatenate([index_of[m] for _, m in parts])
+                halo_ids = np.concatenate(
+                    [np.full(len(m), t, dtype=np.int64) for t, m in parts]
+                )
+            else:
+                idx = np.empty(0, dtype=np.intp)
+                halo_ids = np.empty(0, dtype=np.int64)
+            blocks.append(
+                {
+                    "pos": pos[idx],
+                    "vel": vel[idx],
+                    "tag": tags[idx].astype(np.uint64),
+                    "halo_tag": halo_ids,
+                }
+            )
+        os.makedirs(self.output_dir, exist_ok=True)
+        path = os.path.join(self.output_dir, f"l2_step{context.step:04d}.gio")
+        t0 = time.perf_counter()
+        nbytes = write_genericio(path, blocks)
+        context.store["level2"] = {
+            "path": path,
+            "bytes": nbytes,
+            "n_particles": sum(len(b["tag"]) for b in blocks),
+            "halo_tags": list(offloaded),
+        }
+        context.timings["level2_write_seconds"] = time.perf_counter() - t0
+
+
+class Level2StageAlgorithm(Level2WriterAlgorithm):
+    """In-transit variant of the Level 2 writer: stage to shared memory.
+
+    Identical block structure to :class:`Level2WriterAlgorithm`, but the
+    product lands in a :class:`~repro.machines.staging.StagingArea`
+    instead of the file system — the paper's hypothetical NVRAM path,
+    implemented live.  Set ``staging`` (the shared area) before running.
+    """
+
+    name = "level2_stager"
+    staging = None  # StagingArea, injected by the workflow driver
+
+    def execute(self, sim, context: AnalysisContext) -> None:
+        if self.staging is None:
+            raise RuntimeError("Level2StageAlgorithm.staging not configured")
+        fof = context.require("fof")
+        centers = context.require("centers")
+        offloaded = centers["offloaded_halo_tags"]
+        pos = np.asarray(sim.particles.pos, dtype=np.float32)
+        vel = np.asarray(sim.particles.vel, dtype=np.float32)
+        tags = np.asarray(sim.particles.tag, dtype=np.int64)
+        index_of = tag_index_map(tags)
+        owner_rank = fof["owner_rank"]
+        n_ranks = fof["n_ranks"]
+
+        per_rank: dict[int, list[tuple[int, np.ndarray]]] = {}
+        for halo_tag in offloaded:
+            per_rank.setdefault(owner_rank[halo_tag], []).append(
+                (halo_tag, fof["halos"][halo_tag])
+            )
+        blocks = []
+        for rank in range(n_ranks):
+            parts = per_rank.get(rank, [])
+            if parts:
+                idx = np.concatenate([index_of[m] for _, m in parts])
+                halo_ids = np.concatenate(
+                    [np.full(len(m), t, dtype=np.int64) for t, m in parts]
+                )
+            else:
+                idx = np.empty(0, dtype=np.intp)
+                halo_ids = np.empty(0, dtype=np.int64)
+            blocks.append(
+                {
+                    "pos": pos[idx],
+                    "vel": vel[idx],
+                    "tag": tags[idx].astype(np.uint64),
+                    "halo_tag": halo_ids,
+                }
+            )
+        name = f"l2_step{context.step:04d}"
+        t0 = time.perf_counter()
+        nbytes = self.staging.put(name, blocks)
+        context.store["level2"] = {
+            "staged": name,
+            "bytes": nbytes,
+            "n_particles": sum(len(b["tag"]) for b in blocks),
+            "halo_tags": list(offloaded),
+        }
+        context.timings["level2_stage_seconds"] = time.perf_counter() - t0
+
+
+#: Config-section name -> algorithm class (used by
+#: :meth:`repro.insitu.config.CosmoToolsConfig.build_manager`).
+ALGORITHM_REGISTRY: dict[str, type[InSituAlgorithm]] = {
+    "power_spectrum": PowerSpectrumAlgorithm,
+    "halo_finder": HaloFinderAlgorithm,
+    "halo_centers": HaloCenterAlgorithm,
+    "subhalo_finder": SubhaloFinderAlgorithm,
+    "so_mass": SOMassAlgorithm,
+    "level1_writer": Level1WriterAlgorithm,
+    "level2_writer": Level2WriterAlgorithm,
+    "level2_stager": Level2StageAlgorithm,
+}

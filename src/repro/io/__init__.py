@@ -1,0 +1,36 @@
+"""I/O substrate: GenericIO-style block files, data levels, halo catalogs."""
+
+from .catalog import HaloCatalog, merge_catalogs
+from .genericio import (
+    GenericIOError,
+    GenericIOFile,
+    read_block,
+    read_genericio,
+    write_genericio,
+)
+from .levels import (
+    DataLevel,
+    DataLevelSizes,
+    HALO_CENTER_RECORD_BYTES,
+    level1_bytes,
+    level2_bytes,
+    level3_bytes,
+    table1_row,
+)
+
+__all__ = [
+    "HaloCatalog",
+    "merge_catalogs",
+    "GenericIOError",
+    "GenericIOFile",
+    "read_block",
+    "read_genericio",
+    "write_genericio",
+    "DataLevel",
+    "DataLevelSizes",
+    "HALO_CENTER_RECORD_BYTES",
+    "level1_bytes",
+    "level2_bytes",
+    "level3_bytes",
+    "table1_row",
+]

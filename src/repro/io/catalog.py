@@ -1,0 +1,137 @@
+"""Halo catalogs (Level 3 products) and in-situ/off-line reconciliation.
+
+The combined workflow produces *two* center catalogs — one computed
+in-situ for small/medium halos, one computed off-line (possibly on a
+different machine) for the off-loaded large halos — which are merged
+"in a final step ... to provide a complete set of halo centers and
+properties" (paper §4.1).  :func:`merge_catalogs` implements that
+reconciliation with duplicate detection.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .genericio import read_genericio, write_genericio
+
+__all__ = ["HaloCatalog", "merge_catalogs"]
+
+_CATALOG_DTYPE = np.dtype(
+    [
+        ("halo_tag", np.uint64),
+        ("count", np.int64),
+        ("mass", np.float64),
+        ("center_x", np.float64),
+        ("center_y", np.float64),
+        ("center_z", np.float64),
+        ("mbp_tag", np.uint64),
+        ("potential", np.float64),
+    ]
+)
+
+
+class HaloCatalog:
+    """Structured catalog of halos with centers and properties.
+
+    Thin wrapper over a structured :class:`numpy.ndarray` providing the
+    operations the workflow engine needs: construction from analysis
+    results, sorting, merging, and GenericIO persistence.
+    """
+
+    def __init__(self, records: np.ndarray | None = None):
+        if records is None:
+            records = np.empty(0, dtype=_CATALOG_DTYPE)
+        records = np.asarray(records)
+        if records.dtype != _CATALOG_DTYPE:
+            raise ValueError(f"records must have catalog dtype, got {records.dtype}")
+        self.records = records
+
+    @classmethod
+    def from_columns(
+        cls,
+        halo_tag: np.ndarray,
+        count: np.ndarray,
+        center: np.ndarray,
+        mbp_tag: np.ndarray | None = None,
+        potential: np.ndarray | None = None,
+        particle_mass: float = 1.0,
+    ) -> "HaloCatalog":
+        """Assemble a catalog from per-halo column arrays."""
+        n = len(halo_tag)
+        center = np.atleast_2d(np.asarray(center, dtype=float))
+        if center.shape != (n, 3):
+            raise ValueError("center must have shape (n, 3)")
+        rec = np.empty(n, dtype=_CATALOG_DTYPE)
+        rec["halo_tag"] = np.asarray(halo_tag, dtype=np.uint64)
+        rec["count"] = np.asarray(count, dtype=np.int64)
+        rec["mass"] = rec["count"] * particle_mass
+        rec["center_x"] = center[:, 0]
+        rec["center_y"] = center[:, 1]
+        rec["center_z"] = center[:, 2]
+        rec["mbp_tag"] = (
+            np.zeros(n, dtype=np.uint64) if mbp_tag is None else np.asarray(mbp_tag, np.uint64)
+        )
+        rec["potential"] = (
+            np.zeros(n) if potential is None else np.asarray(potential, dtype=float)
+        )
+        return cls(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.records[key]
+
+    @property
+    def centers(self) -> np.ndarray:
+        """``(n, 3)`` center coordinates."""
+        return np.column_stack(
+            [self.records["center_x"], self.records["center_y"], self.records["center_z"]]
+        )
+
+    def sorted_by_tag(self) -> "HaloCatalog":
+        """Catalog ordered by halo tag (canonical order for comparisons)."""
+        return HaloCatalog(np.sort(self.records, order="halo_tag"))
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> int:
+        """Write as a single-block GenericIO file; returns payload bytes."""
+        cols = {name: np.ascontiguousarray(self.records[name]) for name in _CATALOG_DTYPE.names}
+        return write_genericio(path, [cols])
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "HaloCatalog":
+        """Read a catalog written by :meth:`save`."""
+        cols = read_genericio(path)
+        n = len(cols["halo_tag"])
+        rec = np.empty(n, dtype=_CATALOG_DTYPE)
+        for name in _CATALOG_DTYPE.names:
+            rec[name] = cols[name]
+        return cls(rec)
+
+
+def merge_catalogs(*catalogs: HaloCatalog) -> HaloCatalog:
+    """Reconcile catalogs into one complete set of halo centers.
+
+    Each halo must appear in exactly one input catalog (the in-situ
+    catalog holds the small/medium halos, the off-line catalog the
+    off-loaded large ones).  A duplicate halo tag across inputs raises,
+    catching workflow bugs where a halo was analyzed twice or the
+    split threshold was applied inconsistently.
+    """
+    parts = [c.records for c in catalogs if len(c)]
+    if not parts:
+        return HaloCatalog()
+    merged = np.concatenate(parts)
+    tags = merged["halo_tag"]
+    uniq, counts = np.unique(tags, return_counts=True)
+    dupes = uniq[counts > 1]
+    if dupes.size:
+        raise ValueError(
+            f"halo tags present in multiple catalogs: {dupes[:10].tolist()}"
+            + ("..." if dupes.size > 10 else "")
+        )
+    return HaloCatalog(np.sort(merged, order="halo_tag"))

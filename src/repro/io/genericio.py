@@ -1,0 +1,187 @@
+"""Block-structured binary snapshot format (GenericIO analogue).
+
+HACC writes its outputs with GenericIO: each rank contributes one
+*block* of per-particle variables, blocks are aggregated into a smaller
+number of files (the paper aggregates 128 Titan nodes per file, giving
+128 files x 128 blocks for the Q Continuum Level 2 data), and every
+block carries a checksum.
+
+This module reproduces that layout:
+
+* a file holds a schema (ordered variable names + dtypes) and N blocks;
+* each block is one rank's rows for every variable, stored contiguously
+  per variable (SoA), with a CRC32 per variable;
+* blocks are independently readable — an analysis job can read a single
+  block without touching the rest of the file (how the Moonlight
+  single-node jobs consumed one block each).
+
+File layout (little-endian)::
+
+    magic "RGIO1\\0"            6 bytes
+    header_json_len             uint64
+    header_json                 UTF-8 JSON: schema, block index
+    block data ...              raw variable bytes, per block, per var
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GenericIOError", "write_genericio", "read_genericio", "read_block", "GenericIOFile"]
+
+MAGIC = b"RGIO1\x00"
+
+
+class GenericIOError(RuntimeError):
+    """Raised on malformed files or checksum mismatches."""
+
+
+@dataclass(frozen=True)
+class _BlockEntry:
+    nrows: int
+    offsets: dict[str, int]  # variable -> absolute file offset
+    crcs: dict[str, int]
+
+
+def _dtype_token(dt: np.dtype) -> str:
+    return np.dtype(dt).str  # e.g. '<f4'
+
+
+def write_genericio(path: str | os.PathLike, blocks: list[dict[str, np.ndarray]]) -> int:
+    """Write ``blocks`` (one dict of equal-length arrays per rank) to ``path``.
+
+    All blocks must share the same variable names and dtypes.  Returns the
+    number of payload bytes written (used by the I/O cost accounting).
+    """
+    if not blocks:
+        raise ValueError("need at least one block")
+    schema = [(name, _dtype_token(arr.dtype)) for name, arr in blocks[0].items()]
+    names = [n for n, _ in schema]
+    for bi, blk in enumerate(blocks):
+        if list(blk.keys()) != names:
+            raise ValueError(f"block {bi} variables {list(blk)} != schema {names}")
+        n = len(next(iter(blk.values())))
+        for name, arr in blk.items():
+            if len(arr) != n:
+                raise ValueError(f"block {bi} variable {name!r} length mismatch")
+
+    # First pass: compute sizes to build the block index.
+    index = []
+    payload_bytes = 0
+    for blk in blocks:
+        entry = {"nrows": int(len(next(iter(blk.values())))), "vars": {}}
+        for name, arr in blk.items():
+            arr = np.ascontiguousarray(arr)
+            raw = arr.tobytes()
+            entry["vars"][name] = {
+                "nbytes": len(raw),
+                "crc": zlib.crc32(raw) & 0xFFFFFFFF,
+                "shape": list(arr.shape),
+            }
+            payload_bytes += len(raw)
+        index.append(entry)
+
+    header = {"schema": schema, "blocks": index}
+    header_json = json.dumps(header).encode()
+
+    # Assign offsets now that the header size is known.
+    base = len(MAGIC) + 8 + len(header_json)
+    offset = base
+    for entry in index:
+        for name in names:
+            entry["vars"][name]["offset"] = offset
+            offset += entry["vars"][name]["nbytes"]
+    header_json = json.dumps({"schema": schema, "blocks": index}).encode()
+    # Header length may change once offsets are embedded; fix point it.
+    while True:
+        base = len(MAGIC) + 8 + len(header_json)
+        changed = False
+        offset = base
+        for entry in index:
+            for name in names:
+                if entry["vars"][name]["offset"] != offset:
+                    entry["vars"][name]["offset"] = offset
+                    changed = True
+                offset += entry["vars"][name]["nbytes"]
+        header_json = json.dumps({"schema": schema, "blocks": index}).encode()
+        if not changed:
+            break
+
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(len(header_json).to_bytes(8, "little"))
+        fh.write(header_json)
+        for blk in blocks:
+            for name in names:
+                fh.write(np.ascontiguousarray(blk[name]).tobytes())
+    return payload_bytes
+
+
+class GenericIOFile:
+    """Reader handle exposing the schema and per-block access."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        with open(self.path, "rb") as fh:
+            magic = fh.read(len(MAGIC))
+            if magic != MAGIC:
+                raise GenericIOError(f"{self.path}: bad magic {magic!r}")
+            hlen = int.from_bytes(fh.read(8), "little")
+            header = json.loads(fh.read(hlen).decode())
+        self.schema: list[tuple[str, str]] = [tuple(s) for s in header["schema"]]
+        self._blocks = header["blocks"]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def variables(self) -> list[str]:
+        return [name for name, _ in self.schema]
+
+    def block_rows(self, block: int) -> int:
+        """Row count of one block without reading its data."""
+        return int(self._blocks[block]["nrows"])
+
+    def read_block(self, block: int, verify: bool = True) -> dict[str, np.ndarray]:
+        """Read one block, optionally verifying per-variable CRC32."""
+        if not 0 <= block < self.num_blocks:
+            raise IndexError(f"block {block} out of range [0, {self.num_blocks})")
+        entry = self._blocks[block]
+        out: dict[str, np.ndarray] = {}
+        with open(self.path, "rb") as fh:
+            for name, dtok in self.schema:
+                var = entry["vars"][name]
+                fh.seek(var["offset"])
+                raw = fh.read(var["nbytes"])
+                if len(raw) != var["nbytes"]:
+                    raise GenericIOError(f"{self.path} block {block} var {name}: truncated")
+                if verify and (zlib.crc32(raw) & 0xFFFFFFFF) != var["crc"]:
+                    raise GenericIOError(
+                        f"{self.path} block {block} var {name}: CRC mismatch"
+                    )
+                arr = np.frombuffer(raw, dtype=np.dtype(dtok))
+                out[name] = arr.reshape(var["shape"])
+        return out
+
+    def read_all(self, verify: bool = True) -> dict[str, np.ndarray]:
+        """Concatenate every block into one bundle (rank order)."""
+        parts = [self.read_block(b, verify=verify) for b in range(self.num_blocks)]
+        return {
+            name: np.concatenate([p[name] for p in parts]) for name, _ in self.schema
+        }
+
+
+def read_genericio(path: str | os.PathLike, verify: bool = True) -> dict[str, np.ndarray]:
+    """Read and concatenate all blocks of a GenericIO file."""
+    return GenericIOFile(path).read_all(verify=verify)
+
+
+def read_block(path: str | os.PathLike, block: int, verify: bool = True) -> dict[str, np.ndarray]:
+    """Read a single block of a GenericIO file."""
+    return GenericIOFile(path).read_block(block, verify=verify)

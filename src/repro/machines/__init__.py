@@ -1,0 +1,28 @@
+"""Simulated HPC facilities: machines, cost model, scheduler, listener."""
+
+from .cost import CostModel, PAPER_CALIBRATION
+from .listener import BatchTemplate, Listener, ListenerStats
+from .machine import MOONLIGHT, MachineSpec, QueuePolicy, RHEA, TITAN
+from .scheduler import Job, Scheduler
+from .staging import StagedItem, StagingArea
+from .storage import StorageDevice, burst_buffer_like, lustre_like
+
+__all__ = [
+    "CostModel",
+    "PAPER_CALIBRATION",
+    "BatchTemplate",
+    "Listener",
+    "ListenerStats",
+    "MOONLIGHT",
+    "MachineSpec",
+    "QueuePolicy",
+    "RHEA",
+    "TITAN",
+    "Job",
+    "Scheduler",
+    "StagedItem",
+    "StagingArea",
+    "StorageDevice",
+    "burst_buffer_like",
+    "lustre_like",
+]

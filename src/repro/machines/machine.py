@@ -1,0 +1,125 @@
+"""Descriptions of the HPC facilities the paper's workflows ran on.
+
+Three machines appear in the evaluation:
+
+* **Titan** (OLCF) — the primary HPC system: 18,688 CPU+GPU (K20X)
+  nodes, charged at 30 core-hours per node-hour, queue policy favoring
+  large jobs (at most two sub-125-node jobs running simultaneously).
+* **Rhea** (OLCF) — the designated analysis cluster: CPU-only, short
+  queues for small jobs.
+* **Moonlight** (LANL) — a GPU (M2090) analysis cluster; the paper
+  adjusts Moonlight center-finding times by a factor 0.55 to compare
+  with Titan's newer K20X GPUs.
+
+These specs drive the cost model and the discrete-event scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueuePolicy", "MachineSpec", "TITAN", "RHEA", "MOONLIGHT"]
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Batch-queue behaviour of a facility.
+
+    ``small_job_nodes``/``max_small_jobs``: Titan's policy that "only
+    allows two jobs that use less than 125 nodes to run simultaneously".
+    ``base_wait_seconds`` and ``full_machine_wait_seconds`` parameterize
+    the expected queue wait as a function of requested fraction of the
+    machine: small requests wait ``base_wait_seconds``; a request for
+    the whole machine waits ``full_machine_wait_seconds`` ("this can add
+    days to a week of wait time"), interpolated by a power law.
+    """
+
+    small_job_nodes: int | None = None
+    max_small_jobs: int | None = None
+    base_wait_seconds: float = 300.0
+    full_machine_wait_seconds: float = 4.0 * 86400.0
+    wait_exponent: float = 1.5
+
+    def expected_wait(self, n_nodes: int, machine_nodes: int) -> float:
+        """Expected queue wait for a job of ``n_nodes`` on this machine."""
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        frac = min(n_nodes / machine_nodes, 1.0)
+        return self.base_wait_seconds + (
+            self.full_machine_wait_seconds - self.base_wait_seconds
+        ) * frac**self.wait_exponent
+
+    def max_concurrent_small(self, n_nodes: int) -> int | None:
+        """Concurrency cap applying to a job of this size (None = uncapped)."""
+        if self.small_job_nodes is not None and n_nodes < self.small_job_nodes:
+            return self.max_small_jobs
+        return None
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One HPC facility.
+
+    ``gpu_factor`` expresses the machine's GPU center-finding speed
+    relative to Titan's K20X (= 1.0); ``charge_factor`` is the facility's
+    core-hours charged per node-hour.
+    """
+
+    name: str
+    n_nodes: int
+    cores_per_node: int
+    charge_factor: float
+    has_gpu: bool
+    gpu_factor: float = 1.0
+    queue: QueuePolicy = field(default_factory=QueuePolicy)
+
+    def core_hours(self, wall_seconds: float, n_nodes: int) -> float:
+        """Charged core-hours for a job (the Titan "30x" policy)."""
+        if n_nodes > self.n_nodes:
+            raise ValueError(
+                f"{self.name} has {self.n_nodes} nodes; requested {n_nodes}"
+            )
+        return wall_seconds / 3600.0 * n_nodes * self.charge_factor
+
+
+#: OLCF Titan: the paper's primary system.  "an hour per node leads to a
+#: charge of 30 core hours"; queue policy "only allows two jobs that use
+#: less than 125 nodes to run simultaneously".
+TITAN = MachineSpec(
+    name="Titan",
+    n_nodes=18688,
+    cores_per_node=16,
+    charge_factor=30.0,
+    has_gpu=True,
+    gpu_factor=1.0,
+    queue=QueuePolicy(
+        small_job_nodes=125,
+        max_small_jobs=2,
+        base_wait_seconds=1800.0,
+        full_machine_wait_seconds=4.0 * 86400.0,
+    ),
+)
+
+#: OLCF Rhea: designated analysis cluster, CPU-only, short queues.
+RHEA = MachineSpec(
+    name="Rhea",
+    n_nodes=512,
+    cores_per_node=16,
+    charge_factor=16.0,
+    has_gpu=False,
+    gpu_factor=0.0,
+    queue=QueuePolicy(base_wait_seconds=120.0, full_machine_wait_seconds=86400.0),
+)
+
+#: LANL Moonlight: GPU analysis cluster (M2090).  The paper compares
+#: timings via a factor of 0.55: Titan's K20X completes the same work in
+#: 0.55x the Moonlight time.
+MOONLIGHT = MachineSpec(
+    name="Moonlight",
+    n_nodes=308,
+    cores_per_node=16,
+    charge_factor=16.0,
+    has_gpu=True,
+    gpu_factor=0.55,
+    queue=QueuePolicy(base_wait_seconds=120.0, full_machine_wait_seconds=86400.0),
+)

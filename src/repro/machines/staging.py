@@ -1,0 +1,133 @@
+"""In-transit staging: the shared-memory Level 2 data path.
+
+The paper's third combined-workflow variant is "at this point only a
+hypothetical implementation": instead of writing Level 2 data to disk,
+"the data is now stored on a separate memory device and the analysis is
+done *in-transit*.  This could be either NVRAM or an external memory
+set-up that is connected to both the main HPC system as well as the
+analysis cluster."
+
+:class:`StagingArea` implements that device as an in-process object
+store shared between the producing simulation and the consuming
+analysis: named items (one per snapshot) with block structure, put/get
+semantics, byte accounting, and optional consume-once draining.  The
+live workflow driver uses it to run the in-transit variant for real —
+no files touch disk for the Level 2 product.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["StagedItem", "StagingArea"]
+
+
+@dataclass
+class StagedItem:
+    """One staged data product: named blocks of named arrays."""
+
+    name: str
+    blocks: list[dict[str, np.ndarray]]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for blk in self.blocks for a in blk.values())
+
+    @property
+    def n_rows(self) -> int:
+        return sum(len(next(iter(blk.values()))) if blk else 0 for blk in self.blocks)
+
+    def read_all(self) -> dict[str, np.ndarray]:
+        """Concatenate all blocks (same contract as GenericIOFile.read_all)."""
+        if not self.blocks:
+            return {}
+        keys = list(self.blocks[0].keys())
+        return {
+            k: np.concatenate([blk[k] for blk in self.blocks]) for k in keys
+        }
+
+
+class StagingArea:
+    """Shared-memory staging device for in-transit workflows.
+
+    Thread-safe: the simulation side ``put``s items while a co-scheduled
+    analysis thread ``wait_for``s and ``get``s them.  Capacity is
+    enforced in bytes (NVRAM devices are finite); producers get a
+    ``MemoryError`` when the device is full — the back-pressure a real
+    burst buffer exhibits.
+    """
+
+    def __init__(self, capacity_bytes: int | None = None):
+        self.capacity_bytes = capacity_bytes
+        self._items: dict[str, StagedItem] = {}
+        self._lock = threading.Lock()
+        self._event = threading.Condition(self._lock)
+        self.bytes_staged_total = 0
+        self.puts = 0
+        self.gets = 0
+
+    # -- producer side ---------------------------------------------------------
+
+    def put(self, name: str, blocks: list[dict[str, np.ndarray]]) -> int:
+        """Stage an item; returns its size in bytes."""
+        item = StagedItem(name=name, blocks=[{k: np.asarray(v) for k, v in b.items()} for b in blocks])
+        with self._event:
+            if name in self._items:
+                raise KeyError(f"item {name!r} already staged")
+            if (
+                self.capacity_bytes is not None
+                and self.used_bytes_unlocked() + item.nbytes > self.capacity_bytes
+            ):
+                raise MemoryError(
+                    f"staging area full: {self.used_bytes_unlocked()} + "
+                    f"{item.nbytes} > {self.capacity_bytes}"
+                )
+            self._items[name] = item
+            self.bytes_staged_total += item.nbytes
+            self.puts += 1
+            self._event.notify_all()
+        return item.nbytes
+
+    # -- consumer side ---------------------------------------------------------
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._items)
+
+    def used_bytes_unlocked(self) -> int:
+        return sum(i.nbytes for i in self._items.values())
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self.used_bytes_unlocked()
+
+    def get(self, name: str, drain: bool = True) -> StagedItem:
+        """Fetch a staged item; ``drain`` frees the device space."""
+        with self._lock:
+            if name not in self._items:
+                raise KeyError(f"no staged item {name!r}")
+            item = self._items.pop(name) if drain else self._items[name]
+            self.gets += 1
+            return item
+
+    def wait_for(self, name: str, timeout: float = 30.0, drain: bool = True) -> StagedItem:
+        """Block until ``name`` is staged (the in-transit consumer path)."""
+        with self._event:
+            ok = self._event.wait_for(lambda: name in self._items, timeout=timeout)
+            if not ok:
+                raise TimeoutError(f"staged item {name!r} did not appear in {timeout}s")
+            item = self._items.pop(name) if drain else self._items[name]
+            self.gets += 1
+            return item
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

@@ -1,0 +1,27 @@
+"""In-process SPMD substrate: communicator, domain decomposition, ghosts.
+
+The repo's MPI stand-in.  Algorithms written against
+:class:`~repro.parallel.communicator.Communicator` follow mpi4py idioms
+(send/recv/bcast/gather/allreduce/alltoall) and run one thread per rank
+via :func:`~repro.parallel.communicator.run_spmd`.
+"""
+
+from .communicator import Communicator, SpmdError, World, run_spmd
+from .decomposition import CartesianDecomposition, factor_dims
+from .exchange import ExchangeStats, alltoallv_arrays, redistribute_arrays
+from .overload import OVERLOAD_SAFETY_FACTOR, overload_destinations, select_overload
+
+__all__ = [
+    "Communicator",
+    "SpmdError",
+    "World",
+    "run_spmd",
+    "CartesianDecomposition",
+    "factor_dims",
+    "ExchangeStats",
+    "alltoallv_arrays",
+    "redistribute_arrays",
+    "OVERLOAD_SAFETY_FACTOR",
+    "overload_destinations",
+    "select_overload",
+]

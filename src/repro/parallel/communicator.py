@@ -1,0 +1,309 @@
+"""In-process SPMD communicator — the repo's MPI stand-in.
+
+The paper's algorithms run across MPI ranks on Titan.  mpi4py (and a real
+MPI) is unavailable in this environment, so this module provides an
+in-process communicator with mpi4py-compatible semantics: point-to-point
+``send``/``recv`` with tags, and the collectives used by the analysis code
+(``barrier``, ``bcast``, ``scatter``, ``gather``, ``allgather``,
+``allreduce``, ``alltoall``, ``reduce``).
+
+An SPMD program is a function ``fn(comm, *args)``; :func:`run_spmd`
+executes one OS thread per rank against a shared :class:`World` and
+returns the per-rank results.  Because the heavy numerics are NumPy calls
+that release the GIL, rank threads genuinely overlap, which lets the
+harness *measure* per-rank wall-clock imbalance — the quantity at the
+heart of the paper's evaluation (Table 2, Figure 4).
+
+Messages are deep-ish copies (NumPy arrays are copied) so that ranks
+cannot accidentally share mutable state through the transport, mirroring
+distributed-memory semantics.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Communicator", "World", "run_spmd", "SpmdError"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Default seconds a blocking recv/collective waits before declaring deadlock.
+DEFAULT_TIMEOUT = 120.0
+
+
+class SpmdError(RuntimeError):
+    """Raised when an SPMD program deadlocks or a rank raises."""
+
+
+def _isolate(obj: Any) -> Any:
+    """Copy mutable payloads so ranks do not share memory through messages."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(_isolate(x) for x in obj)
+    if isinstance(obj, list):
+        return [_isolate(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _isolate(v) for k, v in obj.items()}
+    return obj
+
+
+@dataclass
+class _Mailbox:
+    """Per-rank incoming message store with (source, tag) matching."""
+
+    inbox: "queue.Queue[tuple[int, int, Any]]" = field(default_factory=queue.Queue)
+    pending: list[tuple[int, int, Any]] = field(default_factory=list)
+
+    def match(self, source: int, tag: int, timeout: float) -> tuple[int, int, Any]:
+        for i, (src, tg, payload) in enumerate(self.pending):
+            if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, tg)):
+                return self.pending.pop(i)
+        while True:
+            try:
+                msg = self.inbox.get(timeout=timeout)
+            except queue.Empty:
+                raise SpmdError(
+                    f"recv(source={source}, tag={tag}) timed out after {timeout}s "
+                    "— likely SPMD deadlock"
+                ) from None
+            src, tg, _ = msg
+            if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, tg)):
+                return msg
+            self.pending.append(msg)
+
+
+class World:
+    """Shared state backing one SPMD execution: mailboxes + barrier.
+
+    Also accumulates transport statistics (message counts and payload
+    bytes) that the machine cost model uses to charge communication time.
+    """
+
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier_obj = threading.Barrier(size)
+        self.abort = threading.Event()
+        self._stats_lock = threading.Lock()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def record(self, payload: Any) -> None:
+        nbytes = _payload_bytes(payload)
+        with self._stats_lock:
+            self.messages_sent += 1
+            self.bytes_sent += nbytes
+
+
+def _payload_bytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (tuple, list)):
+        return sum(_payload_bytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_bytes(v) for v in obj.values())
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    return 8  # nominal scalar size
+
+
+class Communicator:
+    """Rank-local handle to a :class:`World` (mpi4py-flavoured API)."""
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+
+    # -- point to point -------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to rank ``dest`` (non-blocking buffered send)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range for size {self.size}")
+        if self.world.abort.is_set():
+            raise SpmdError("world aborted")
+        payload = _isolate(obj)
+        self.world.record(payload)
+        self.world.mailboxes[dest].inbox.put((self.rank, tag, payload))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Receive a message matching ``(source, tag)``; blocks until available."""
+        deadline_step = min(0.25, self.world.timeout)
+        waited = 0.0
+        while True:
+            if self.world.abort.is_set():
+                raise SpmdError("world aborted")
+            try:
+                _, _, payload = self.world.mailboxes[self.rank].match(source, tag, deadline_step)
+                return payload
+            except SpmdError:
+                waited += deadline_step
+                if waited >= self.world.timeout:
+                    raise
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Combined send+recv (safe against pairwise exchange deadlock)."""
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # -- collectives ----------------------------------------------------
+
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        try:
+            self.world.barrier_obj.wait(timeout=self.world.timeout)
+        except threading.BrokenBarrierError:
+            raise SpmdError("barrier broken (a rank died or timed out)") from None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to all ranks."""
+        tag = _SysTag.BCAST
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst, tag)
+            return _isolate(obj)
+        return self.recv(root, tag)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one element of ``objs`` to each rank."""
+        tag = _SysTag.SCATTER
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter requires len(objs) == comm.size at root")
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(objs[dst], dst, tag)
+            return _isolate(objs[root])
+        return self.recv(root, tag)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank at ``root`` (rank order)."""
+        tag = _SysTag.GATHER
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = _isolate(obj)
+            for _ in range(self.size - 1):
+                # tag match is on (src, tag); order recovery via src
+                src_obj = self._recv_with_source(tag)
+                out[src_obj[0]] = src_obj[1]
+            return out
+        self.send((self.rank, _isolate(obj)), root, tag)
+        return None
+
+    def _recv_with_source(self, tag: int) -> tuple[int, Any]:
+        payload = self.recv(ANY_SOURCE, tag)
+        return payload  # payload is (src_rank, obj)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather at rank 0 then broadcast the full list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] = np.add, root: int = 0) -> Any:
+        """Reduce across ranks with binary ``op``; result valid at ``root``."""
+        gathered = self.gather(obj, root=root)
+        if self.rank != root:
+            return None
+        acc = gathered[0]
+        for x in gathered[1:]:
+            acc = op(acc, x)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = np.add) -> Any:
+        """Reduce across ranks and broadcast the result."""
+        reduced = self.reduce(obj, op=op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all: ``objs[d]`` goes to rank ``d``.
+
+        Returns the list of objects received, indexed by source rank.
+        """
+        if len(objs) != self.size:
+            raise ValueError("alltoall requires len(objs) == comm.size")
+        tag = _SysTag.ALLTOALL
+        for dst in range(self.size):
+            if dst != self.rank:
+                self.send((self.rank, objs[dst]), dst, tag)
+        out: list[Any] = [None] * self.size
+        out[self.rank] = _isolate(objs[self.rank])
+        for _ in range(self.size - 1):
+            src, obj = self.recv(ANY_SOURCE, tag)
+            out[src] = obj
+        return out
+
+
+class _SysTag:
+    """Reserved tags for collectives (kept clear of user tags >= 0)."""
+
+    BCAST = -101
+    SCATTER = -102
+    GATHER = -103
+    ALLTOALL = -104
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = DEFAULT_TIMEOUT,
+    return_world: bool = False,
+    **kwargs: Any,
+) -> list[Any] | tuple[list[Any], World]:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` concurrent ranks.
+
+    Returns the list of per-rank return values (rank order).  If any rank
+    raises, the world is aborted and the first exception is re-raised
+    wrapped in :class:`SpmdError`.  With ``return_world=True`` the
+    :class:`World` (carrying transport statistics) is also returned.
+    """
+    world = World(nranks, timeout=timeout)
+    results: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - propagate to caller
+            with lock:
+                errors.append((rank, exc))
+            world.abort.set()
+            world.barrier_obj.abort()
+
+    if nranks == 1:
+        # Fast path: no threads, direct call (useful under profilers).
+        runner(0)
+    else:
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+            for r in range(nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout * 4)
+            if t.is_alive():
+                world.abort.set()
+                world.barrier_obj.abort()
+                raise SpmdError(f"rank thread {t.name} failed to terminate")
+
+    if errors:
+        rank, exc = errors[0]
+        raise SpmdError(f"rank {rank} raised {type(exc).__name__}: {exc}") from exc
+    if return_world:
+        return results, world
+    return results

@@ -1,0 +1,131 @@
+"""Overload (ghost) region construction for the parallel halo finder.
+
+The paper (§3.3.1): "Overload regions are defined at the boundaries of
+the processors, with each of the neighboring processors receiving a copy
+of the particles in this region.  The size of the overload regions are
+defined to be large enough relative to the maximum feasible halo extent
+such that each halo is assured of being found in its entirety by at
+least one processor."
+
+Given a rank's owned particle positions, :func:`overload_destinations`
+determines, for each neighbor rank, which particles must be replicated
+there, including the periodic image shift to apply so the copy lands in
+the neighbor's coordinate neighborhood.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .decomposition import CartesianDecomposition
+
+__all__ = ["overload_destinations", "select_overload", "OVERLOAD_SAFETY_FACTOR"]
+
+#: Overload width is usually set to a small multiple of the expected
+#: maximum halo diameter; HACC uses a fixed physical width chosen offline.
+OVERLOAD_SAFETY_FACTOR = 1.2
+
+
+def overload_destinations(
+    decomp: CartesianDecomposition,
+    rank: int,
+    positions: np.ndarray,
+    width: float,
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """Plan ghost replication of this rank's particles to its neighbors.
+
+    Parameters
+    ----------
+    decomp:
+        The domain decomposition.
+    rank:
+        The owning rank whose particles are being replicated outward.
+    positions:
+        ``(n, 3)`` positions of the rank's *owned* particles (already
+        inside the rank's sub-box, in box coordinates).
+    width:
+        Overload width: particles within ``width`` of a face are
+        replicated across that face.
+
+    Returns
+    -------
+    dict mapping neighbor rank -> ``(indices, shift)`` where ``indices``
+    selects the particles to copy and ``shift`` is the ``(k, 3)`` periodic
+    offset (multiples of the box length, usually zeros) to add to their
+    positions so the neighbor sees them in its own unwrapped frame.
+    """
+    positions = np.atleast_2d(np.asarray(positions, dtype=float))
+    if width < 0:
+        raise ValueError("overload width must be non-negative")
+    cell = decomp.cell_sizes
+    if np.any(width >= cell / 2) and decomp.nranks > 1:
+        # A width of half the cell or more would replicate particles to
+        # non-adjacent ranks, which this 26-neighbor scheme cannot express.
+        raise ValueError(
+            f"overload width {width} too large for cell sizes {cell} "
+            "(must be < half the sub-box edge)"
+        )
+
+    ix, iy, iz = decomp.coords_of_rank(rank)
+    lo, hi = decomp.bounds(rank)
+    dims = np.asarray(decomp.dims)
+    box = decomp.box
+
+    # For each axis, flag particles near the low / high face.
+    near_lo = positions < (lo + width)  # (n, 3) booleans
+    near_hi = positions >= (hi - width)
+
+    out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dz in (-1, 0, 1):
+                if dx == dy == dz == 0:
+                    continue
+                d = (dx, dy, dz)
+                mask = np.ones(len(positions), dtype=bool)
+                for axis, step in enumerate(d):
+                    if step == -1:
+                        mask &= near_lo[:, axis]
+                    elif step == 1:
+                        mask &= near_hi[:, axis]
+                if not mask.any():
+                    continue
+                nbr = decomp.rank_of_coords(ix + dx, iy + dy, iz + dz)
+                idx = np.flatnonzero(mask)
+                # Periodic shift: if stepping off the grid edge, shift the
+                # copy so it lands adjacent to the receiving rank's frame.
+                # Stepping below cell 0 wraps to the highest rank, whose
+                # high face sits at x=box: the copy must appear at x+box.
+                shift = np.zeros(3)
+                coords = np.asarray([ix, iy, iz])
+                for axis, step in enumerate(d):
+                    tgt = coords[axis] + step
+                    if tgt < 0:
+                        shift[axis] = box
+                    elif tgt >= dims[axis]:
+                        shift[axis] = -box
+                shifts = np.broadcast_to(shift, (idx.size, 3)).copy()
+                if nbr in out:
+                    prev_idx, prev_shift = out[nbr]
+                    # Same neighbor reachable via several corner directions
+                    # (small grids with wraparound): merge, dedup on index
+                    # + shift so distinct periodic images are all kept.
+                    merged_idx = np.concatenate([prev_idx, idx])
+                    merged_shift = np.concatenate([prev_shift, shifts])
+                    key = np.column_stack([merged_idx.astype(float), merged_shift])
+                    _, unique_pos = np.unique(key, axis=0, return_index=True)
+                    unique_pos.sort()
+                    out[nbr] = (merged_idx[unique_pos], merged_shift[unique_pos])
+                else:
+                    out[nbr] = (idx, shifts)
+    return out
+
+
+def select_overload(
+    positions: np.ndarray,
+    plan: dict[int, tuple[np.ndarray, np.ndarray]],
+    neighbor: int,
+) -> np.ndarray:
+    """Materialize the shifted ghost positions destined for ``neighbor``."""
+    idx, shift = plan[neighbor]
+    return np.asarray(positions, dtype=float)[idx] + shift

@@ -1,0 +1,130 @@
+"""FLRW background cosmology: expansion history and linear growth.
+
+Provides the small amount of background cosmology the mini-HACC
+simulation and its initial-condition generator need: the normalized
+Hubble rate ``E(a)``, the linear growth factor ``D(a)`` (flat
+matter + Lambda universe, computed by quadrature), the growth rate
+``f = dlnD/dlna``, and redshift/scale-factor conversions.
+
+Default parameters approximate the WMAP-7-like cosmology used by the
+Q Continuum simulation (Heitmann et al. 2015).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+from scipy import integrate
+
+__all__ = ["Cosmology", "QCONTINUUM_COSMOLOGY", "a_of_z", "z_of_a"]
+
+
+def a_of_z(z: float | np.ndarray) -> float | np.ndarray:
+    """Scale factor for redshift ``z`` (``a = 1`` today)."""
+    return 1.0 / (1.0 + np.asarray(z, dtype=float))
+
+
+def z_of_a(a: float | np.ndarray) -> float | np.ndarray:
+    """Redshift for scale factor ``a``."""
+    return 1.0 / np.asarray(a, dtype=float) - 1.0
+
+
+@dataclass(frozen=True)
+class Cosmology:
+    """Flat ΛCDM background.
+
+    Parameters
+    ----------
+    omega_m:
+        Total matter density parameter today.
+    omega_b:
+        Baryon density parameter today (used by the transfer function).
+    h:
+        Dimensionless Hubble parameter, ``H0 = 100 h km/s/Mpc``.
+    sigma8:
+        RMS linear density fluctuation in 8 Mpc/h spheres at z=0
+        (normalizes the power spectrum).
+    n_s:
+        Primordial spectral index.
+    """
+
+    omega_m: float = 0.265
+    omega_b: float = 0.0448
+    h: float = 0.71
+    sigma8: float = 0.8
+    n_s: float = 0.963
+
+    def __post_init__(self) -> None:
+        if not 0 < self.omega_m <= 1:
+            raise ValueError("omega_m must be in (0, 1]")
+        if not 0 <= self.omega_b < self.omega_m:
+            raise ValueError("omega_b must be in [0, omega_m)")
+        if self.h <= 0 or self.sigma8 <= 0:
+            raise ValueError("h and sigma8 must be positive")
+
+    @property
+    def omega_lambda(self) -> float:
+        """Dark-energy density parameter (flatness: 1 - omega_m)."""
+        return 1.0 - self.omega_m
+
+    # -- expansion history ------------------------------------------------
+
+    def efunc(self, a: float | np.ndarray) -> float | np.ndarray:
+        """Normalized Hubble rate ``E(a) = H(a)/H0``."""
+        a = np.asarray(a, dtype=float)
+        return np.sqrt(self.omega_m / a**3 + self.omega_lambda)
+
+    def omega_m_a(self, a: float | np.ndarray) -> float | np.ndarray:
+        """Matter density parameter at scale factor ``a``."""
+        a = np.asarray(a, dtype=float)
+        return self.omega_m / (a**3 * self.efunc(a) ** 2)
+
+    # -- linear growth ----------------------------------------------------
+
+    def growth_factor(self, a: float | np.ndarray) -> float | np.ndarray:
+        """Linear growth factor ``D(a)`` normalized to ``D(1) = 1``.
+
+        Uses the standard quadrature solution for flat ΛCDM:
+
+        ``D(a) ∝ E(a) ∫_0^a da' / (a' E(a'))^3``.
+        """
+        norm = self._growth_unnormalized(1.0)
+        a_arr = np.atleast_1d(np.asarray(a, dtype=float))
+        out = np.asarray([self._growth_unnormalized(ai) for ai in a_arr]) / norm
+        return float(out[0]) if np.isscalar(a) or np.asarray(a).ndim == 0 else out
+
+    @lru_cache(maxsize=4096)
+    def _growth_unnormalized(self, a: float) -> float:
+        if a <= 0:
+            return 0.0
+        integrand = lambda x: 1.0 / (x * self.efunc(x)) ** 3  # noqa: E731
+        val, _ = integrate.quad(integrand, 1e-8, a, limit=200)
+        return 2.5 * self.omega_m * self.efunc(a) * val
+
+    def growth_rate(self, a: float | np.ndarray) -> float | np.ndarray:
+        """Logarithmic growth rate ``f = dlnD/dlna ≈ Ωm(a)^0.55``."""
+        return self.omega_m_a(a) ** 0.55
+
+    # -- PM code-unit helpers ----------------------------------------------
+
+    def f_drift(self, a: float | np.ndarray) -> float | np.ndarray:
+        """``f(a) = H0 / (a H(a)) = 1/(a E(a))`` — the PM time-step factor.
+
+        With positions in grid cells and momenta ``p = a^2 dx/d(H0 t)``,
+        the PM equations of motion are ``dx/da = f(a) p / a^2`` and
+        ``dp/da = -f(a) grad(phi)`` (Kravtsov's PM formulation).
+        """
+        a = np.asarray(a, dtype=float)
+        return 1.0 / (a * self.efunc(a))
+
+    def poisson_factor(self, a: float) -> float:
+        """RHS factor in the code-unit Poisson equation ``∇²φ = (3Ωm/2a) δ``."""
+        return 1.5 * self.omega_m / a
+
+
+#: The cosmology of the Q Continuum run (Heitmann et al. 2015).
+QCONTINUUM_COSMOLOGY = Cosmology(
+    omega_m=0.265, omega_b=0.0448, h=0.71, sigma8=0.8, n_s=0.963
+)

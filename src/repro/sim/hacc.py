@@ -1,0 +1,205 @@
+"""The mini-HACC simulation driver with CosmoTools in-situ hooks.
+
+Evolves the Zel'dovich-seeded particle set from ``z_initial`` to
+``z_final`` with a kick-drift-kick particle-mesh integrator, invoking the
+registered in-situ analysis manager at every step exactly as HACC invokes
+CosmoTools inside its main physics loop (paper §3.1: "a simple interface
+that can be invoked within the main physics loop").
+
+Equations of motion (Kravtsov PM formulation, positions ``x`` and
+momenta ``p = a² dx/d(H0 t)`` in box-length units, time variable the
+scale factor)::
+
+    dx/da = f(a) p / a²          f(a) = 1 / (a E(a))
+    dp/da = -f(a) ∇φ             ∇²φ = (3 Ω_m / 2a) δ
+
+The Poisson solve runs on the force mesh in grid-cell units; mesh
+accelerations are converted to box units by one factor of the cell size,
+so particle state is independent of the mesh resolution ``ng``.
+
+The driver also keeps per-step wall-clock and operation-count
+instrumentation; the workflow cost model consumes these to extrapolate
+paper-scale timings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cosmology import Cosmology, QCONTINUUM_COSMOLOGY, a_of_z, z_of_a
+from .initial_conditions import ICConfig, make_initial_conditions
+from .particles import Particles
+from .pm import cic_interpolate, cic_deposit, gradient_spectral, solve_poisson
+
+__all__ = ["SimulationConfig", "StepRecord", "HACCSimulation"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Mini-HACC run parameters (the "input deck" basics).
+
+    ``ng`` defaults to the particle grid size (HACC typically matches
+    particle count and grid size — paper §3: "typically, the particle
+    number and grid size are the same").
+    """
+
+    np_per_dim: int = 32
+    box: float = 64.0
+    z_initial: float = 50.0
+    z_final: float = 0.0
+    n_steps: int = 60
+    ng: int | None = None
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        if self.z_final >= self.z_initial:
+            raise ValueError("z_final must be < z_initial")
+
+    @property
+    def mesh_size(self) -> int:
+        return self.ng if self.ng is not None else self.np_per_dim
+
+    @property
+    def n_particles(self) -> int:
+        return self.np_per_dim**3
+
+
+@dataclass
+class StepRecord:
+    """Timing/accounting for one simulation step."""
+
+    step: int
+    a: float
+    z: float
+    force_seconds: float = 0.0
+    analysis_seconds: float = 0.0
+    io_seconds: float = 0.0
+
+
+class HACCSimulation:
+    """Mini-HACC: PM N-body evolution with in-situ analysis hooks.
+
+    Parameters
+    ----------
+    config:
+        Run parameters.
+    cosmo:
+        Background cosmology (defaults to the Q Continuum cosmology).
+    analysis_manager:
+        Optional object with an ``execute(sim, step, a)`` method — the
+        CosmoTools :class:`~repro.insitu.manager.InSituAnalysisManager`.
+        Invoked after every completed step (and once for the initial
+        state at step 0 if ``call_at_start``).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        cosmo: Cosmology = QCONTINUUM_COSMOLOGY,
+        analysis_manager=None,
+        call_at_start: bool = False,
+    ):
+        self.config = config
+        self.cosmo = cosmo
+        self.analysis_manager = analysis_manager
+        self.call_at_start = call_at_start
+
+        self.particles: Particles = make_initial_conditions(
+            ICConfig(
+                np_per_dim=config.np_per_dim,
+                box=config.box,
+                z_initial=config.z_initial,
+                seed=config.seed,
+            ),
+            cosmo,
+        )
+        self.a = float(a_of_z(config.z_initial))
+        self.a_final = float(a_of_z(config.z_final))
+        self.step = 0
+        self.records: list[StepRecord] = []
+        self._accel_cache: np.ndarray | None = None
+        # conversion: positions stored in box units; PM works in grid cells
+        self._cell = config.box / config.mesh_size
+
+    # -- mesh-unit helpers -------------------------------------------------
+
+    @property
+    def grid_positions(self) -> np.ndarray:
+        """Particle positions in grid-cell units."""
+        return self.particles.pos / self._cell
+
+    def _compute_accelerations(self, a: float) -> np.ndarray:
+        ng = self.config.mesh_size
+        pos_grid = self.grid_positions
+        delta = cic_deposit(pos_grid, ng)
+        phi = solve_poisson(delta, factor=self.cosmo.poisson_factor(a))
+        grad = gradient_spectral(phi)
+        # mesh acceleration (grid units) -> box units: one factor of cell
+        return -cic_interpolate(grad, pos_grid) * self._cell
+
+    # -- main loop -----------------------------------------------------------
+
+    @property
+    def z(self) -> float:
+        """Current redshift."""
+        return float(z_of_a(self.a))
+
+    def run(self) -> list[StepRecord]:
+        """Evolve to ``z_final``, invoking the analysis hook per step."""
+        if self.call_at_start and self.analysis_manager is not None:
+            self._invoke_analysis()
+        while self.step < self.config.n_steps:
+            self.advance_step()
+        return self.records
+
+    def advance_step(self) -> StepRecord:
+        """One kick-drift-kick step in the scale factor."""
+        cfg = self.config
+        da = (self.a_final - float(a_of_z(cfg.z_initial))) / cfg.n_steps
+        a0 = self.a
+        a1 = a0 + da
+        a_half = 0.5 * (a0 + a1)
+
+        t0 = time.perf_counter()
+        if self._accel_cache is None:
+            self._accel_cache = self._compute_accelerations(a0)
+
+        # kick (half) at a0
+        p = self.particles.vel
+        p += self._accel_cache * (self.cosmo.f_drift(a0) * 0.5 * da)
+
+        # drift (full) with midpoint factor
+        drift = float(self.cosmo.f_drift(a_half) / a_half**2) * da
+        self.particles.pos += p * drift
+        self.particles.wrap()
+
+        # new force at a1, kick (half)
+        accel = self._compute_accelerations(a1)
+        p += accel * (self.cosmo.f_drift(a1) * 0.5 * da)
+        self._accel_cache = accel
+        force_seconds = time.perf_counter() - t0
+
+        self.a = a1
+        self.step += 1
+        record = StepRecord(step=self.step, a=self.a, z=self.z, force_seconds=force_seconds)
+        self.records.append(record)
+
+        if self.analysis_manager is not None:
+            t1 = time.perf_counter()
+            self._invoke_analysis()
+            record.analysis_seconds = time.perf_counter() - t1
+        return record
+
+    def _invoke_analysis(self) -> None:
+        self.analysis_manager.execute(self, self.step, self.a)
+
+    # -- convenience -----------------------------------------------------------
+
+    def snapshot(self) -> Particles:
+        """Deep copy of the current particle state (a Level 1 product)."""
+        return self.particles.copy()

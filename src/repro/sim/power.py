@@ -1,0 +1,107 @@
+"""Linear matter power spectrum (Eisenstein & Hu 1998, no-wiggle form).
+
+Seeds the Gaussian initial conditions of the mini-HACC simulation and
+provides the theory curve the in-situ power-spectrum analysis is compared
+against.  The no-wiggle transfer function captures the broadband shape
+(which controls the halo mass function) without the baryon acoustic
+oscillations, which are irrelevant at the box sizes this reproduction
+runs.
+
+Wavenumbers are in ``h/Mpc``; power is in ``(Mpc/h)^3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import integrate
+
+from .cosmology import Cosmology
+
+__all__ = ["LinearPower", "transfer_eisenstein_hu"]
+
+
+def transfer_eisenstein_hu(k: np.ndarray, cosmo: Cosmology) -> np.ndarray:
+    """Eisenstein & Hu (1998) zero-baryon ("no-wiggle") transfer function.
+
+    Parameters
+    ----------
+    k:
+        Wavenumbers in ``h/Mpc``.
+    cosmo:
+        Background cosmology supplying ``omega_m``, ``omega_b``, ``h``.
+    """
+    k = np.asarray(k, dtype=float)
+    h = cosmo.h
+    om = cosmo.omega_m * h * h  # omega_m h^2
+    ob = cosmo.omega_b * h * h
+    theta = 2.728 / 2.7  # CMB temperature in units of 2.7 K
+
+    # sound horizon (EH98 eq. 26)
+    s = 44.5 * np.log(9.83 / om) / np.sqrt(1.0 + 10.0 * ob**0.75)
+    # alpha_gamma (eq. 31)
+    f_b = ob / om
+    alpha = 1.0 - 0.328 * np.log(431.0 * om) * f_b + 0.38 * np.log(22.3 * om) * f_b**2
+
+    k_mpc = k * h  # 1/Mpc
+    gamma_eff = cosmo.omega_m * h * (alpha + (1.0 - alpha) / (1.0 + (0.43 * k_mpc * s) ** 4))
+    q = k * theta**2 / gamma_eff
+    l0 = np.log(2.0 * np.e + 1.8 * q)
+    c0 = 14.2 + 731.0 / (1.0 + 62.5 * q)
+    return l0 / (l0 + c0 * q * q)
+
+
+def _tophat_window(x: np.ndarray) -> np.ndarray:
+    """Fourier transform of a real-space spherical top-hat."""
+    x = np.asarray(x, dtype=float)
+    out = np.ones_like(x)
+    nz = np.abs(x) > 1e-6
+    xn = x[nz]
+    out[nz] = 3.0 * (np.sin(xn) - xn * np.cos(xn)) / xn**3
+    return out
+
+
+@dataclass
+class LinearPower:
+    """σ8-normalized linear matter power spectrum at z = 0.
+
+    ``P(k) = A k^{n_s} T(k)^2`` with ``A`` fixed so that the RMS
+    fluctuation in 8 Mpc/h top-hat spheres equals ``cosmo.sigma8``.
+    Scale to other redshifts by multiplying with ``D(a)^2``.
+    """
+
+    cosmo: Cosmology
+    _norm: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self._norm = 1.0
+        target = self.cosmo.sigma8
+        sig = self.sigma_r(8.0)
+        self._norm = (target / sig) ** 2
+
+    def unnormalized(self, k: np.ndarray) -> np.ndarray:
+        """``k^{n_s} T^2(k)`` without the σ8 normalization."""
+        k = np.asarray(k, dtype=float)
+        t = transfer_eisenstein_hu(k, self.cosmo)
+        return np.where(k > 0, k**self.cosmo.n_s * t * t, 0.0)
+
+    def __call__(self, k: np.ndarray) -> np.ndarray:
+        """Linear P(k) at z = 0 in ``(Mpc/h)^3``."""
+        return self._norm * self.unnormalized(k)
+
+    def at_redshift(self, k: np.ndarray, z: float) -> np.ndarray:
+        """Linear P(k) scaled to redshift ``z`` via the growth factor."""
+        d = self.cosmo.growth_factor(1.0 / (1.0 + z))
+        return self(k) * d * d
+
+    def sigma_r(self, r: float) -> float:
+        """RMS linear fluctuation in top-hat spheres of radius ``r`` Mpc/h."""
+
+        def integrand(lnk: float) -> float:
+            k = np.exp(lnk)
+            w = _tophat_window(np.asarray(k * r))
+            return float(self._norm * self.unnormalized(np.asarray(k)) * w * w * k**3)
+
+        val, _ = integrate.quad(integrand, np.log(1e-5), np.log(1e3), limit=400)
+        return float(np.sqrt(val / (2.0 * np.pi**2)))

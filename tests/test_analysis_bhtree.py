@@ -1,0 +1,100 @@
+"""Barnes–Hut octree: structure, moments, approximate potentials."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BarnesHutTree
+from repro.analysis.centers import potential_bruteforce
+
+
+def test_empty_tree():
+    tree = BarnesHutTree(np.empty((0, 3)))
+    assert tree.n_nodes == 0
+    assert tree.total_mass == 0.0
+
+
+def test_total_mass_and_com(rng):
+    pts = rng.uniform(0, 1, (100, 3))
+    tree = BarnesHutTree(pts, masses=2.0)
+    assert tree.total_mass == pytest.approx(200.0)
+    assert np.allclose(tree.nodes[0].com, pts.mean(axis=0))
+
+
+def test_variable_masses(rng):
+    pts = rng.uniform(0, 1, (50, 3))
+    m = rng.uniform(1, 3, 50)
+    tree = BarnesHutTree(pts, masses=m)
+    assert tree.total_mass == pytest.approx(m.sum())
+    expected_com = (pts * m[:, None]).sum(axis=0) / m.sum()
+    assert np.allclose(tree.nodes[0].com, expected_com)
+
+
+def test_mass_length_mismatch():
+    with pytest.raises(ValueError):
+        BarnesHutTree(np.zeros((3, 3)), masses=np.ones(2))
+
+
+def test_index_is_permutation(rng):
+    pts = rng.uniform(0, 1, (128, 3))
+    tree = BarnesHutTree(pts, leaf_size=4)
+    assert np.array_equal(np.sort(tree.index), np.arange(128))
+
+
+def test_children_partition_parent(rng):
+    pts = rng.uniform(0, 1, (200, 3))
+    tree = BarnesHutTree(pts, leaf_size=8)
+    for node in tree.nodes:
+        if node.children:
+            child_counts = sum(
+                tree.nodes[c].end - tree.nodes[c].start for c in node.children
+            )
+            assert child_counts == node.end - node.start
+
+
+def test_node_mass_consistency(rng):
+    pts = rng.uniform(0, 1, (150, 3))
+    tree = BarnesHutTree(pts, leaf_size=8)
+    for node in tree.nodes:
+        if node.children:
+            assert node.mass == pytest.approx(
+                sum(tree.nodes[c].mass for c in node.children)
+            )
+
+
+def test_potential_theta_zero_is_exact(plummer_halo):
+    pos = plummer_halo[:300]
+    tree = BarnesHutTree(pos, leaf_size=8)
+    exact = potential_bruteforce(pos, softening=1e-5, backend="vector")
+    approx = tree.potential(pos, theta=0.0, softening=1e-5)
+    assert np.allclose(approx, exact, rtol=1e-10)
+
+
+def test_potential_accuracy_improves_with_theta(plummer_halo):
+    pos = plummer_halo[:400]
+    tree = BarnesHutTree(pos, leaf_size=8)
+    exact = potential_bruteforce(pos, softening=1e-5, backend="vector")
+    err = {}
+    for theta in (0.3, 1.0):
+        approx = tree.potential(pos, theta=theta, softening=1e-5)
+        err[theta] = np.max(np.abs((approx - exact) / exact))
+    assert err[0.3] < err[1.0]
+    assert err[0.3] < 0.02  # sub-2% at theta=0.3
+
+
+def test_potential_external_target(plummer_halo):
+    """A faraway target sees approximately a point mass."""
+    pos = plummer_halo[:200]
+    tree = BarnesHutTree(pos)
+    far = np.asarray([[1000.0, 0.0, 0.0]])
+    phi = tree.potential(far, theta=0.5)
+    d = np.linalg.norm(pos - far, axis=1).mean()
+    assert phi[0] == pytest.approx(-200.0 / d, rel=0.01)
+
+
+def test_query_radius_matches_brute(rng):
+    pts = rng.uniform(0, 10, (300, 3))
+    tree = BarnesHutTree(pts, leaf_size=8)
+    center = np.asarray([5.0, 5.0, 5.0])
+    got = np.sort(tree.query_radius(center, 2.0))
+    expect = np.flatnonzero(np.sum((pts - center) ** 2, axis=1) <= 4.0)
+    assert np.array_equal(got, expect)

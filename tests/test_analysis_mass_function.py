@@ -1,0 +1,94 @@
+"""Halo mass function binning, threshold split, volume scaling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MassFunction, mass_function, scale_counts, split_by_threshold
+
+
+def test_mass_function_totals(rng):
+    counts = rng.integers(40, 10_000, 500)
+    mf = mass_function(counts)
+    assert mf.total == 500
+    assert len(mf.counts) == 32
+    assert len(mf.bin_edges) == 33
+
+
+def test_bins_are_log_spaced():
+    mf = mass_function(np.asarray([10, 100, 1000, 10000]), n_bins=3)
+    ratios = mf.bin_edges[1:] / mf.bin_edges[:-1]
+    assert np.allclose(ratios, ratios[0])
+
+
+def test_bin_centers_geometric():
+    mf = mass_function(np.asarray([10.0, 1000.0]), n_bins=2)
+    assert np.allclose(
+        mf.bin_centers, np.sqrt(mf.bin_edges[:-1] * mf.bin_edges[1:])
+    )
+
+
+def test_every_halo_lands_in_a_bin(rng):
+    counts = rng.integers(40, 500_000, 1000)
+    mf = mass_function(counts, n_bins=20)
+    assert mf.counts.sum() == 1000
+
+
+def test_empty_catalog():
+    mf = mass_function(np.empty(0))
+    assert mf.total == 0
+
+
+def test_explicit_range():
+    mf = mass_function(np.asarray([50, 150]), lo=10, hi=1000, n_bins=2)
+    assert mf.bin_edges[0] == pytest.approx(10)
+    assert mf.bin_edges[-1] == pytest.approx(1000)
+
+
+def test_split_by_threshold_paper_semantics():
+    """Halos with count <= threshold are in-situ; larger are off-loaded."""
+    counts = np.asarray([100, 300_000, 300_001, 2_000_000])
+    in_situ, off = split_by_threshold(counts, 300_000)
+    assert np.array_equal(in_situ, [True, True, False, False])
+    assert np.array_equal(off, ~in_situ)
+
+
+def test_split_fraction_like_figure3(rng):
+    """With a steep mass function the off-loaded fraction is tiny by
+    count (paper: 84,719 of 167,686,789 = 0.05%)."""
+    from repro.core import synthetic_halo_catalog
+
+    counts = synthetic_halo_catalog(100_000, seed=3)
+    in_situ, off = split_by_threshold(counts, 300_000)
+    assert off.sum() / len(counts) < 0.01
+    assert in_situ.sum() + off.sum() == len(counts)
+
+
+def test_scale_counts_volume_factor():
+    mf = mass_function(np.asarray([50, 50, 500, 5000]), n_bins=4)
+    big = scale_counts(mf, 512)
+    assert big.total == pytest.approx(mf.total * 512, rel=0.01)
+    assert np.array_equal(big.bin_edges, mf.bin_edges)
+
+
+def test_scale_counts_invalid():
+    mf = mass_function(np.asarray([50.0]))
+    with pytest.raises(ValueError):
+        scale_counts(mf, 0)
+
+
+def test_measured_mass_function_is_steep(mini_sim):
+    """The mini-HACC run's halo mass function falls steeply with mass —
+    the shape behind Figure 3."""
+    from repro.analysis import fof_grid
+
+    p = mini_sim.particles
+    r = fof_grid(
+        p.pos, 0.2 * mini_sim.config.box / mini_sim.config.np_per_dim,
+        min_count=20, box=mini_sim.config.box,
+    )
+    assert r.n_halos >= 10
+    mf = mass_function(r.halo_counts.astype(float), n_bins=6)
+    nz = mf.counts > 0
+    # counts in the lowest occupied bin exceed the highest occupied bin
+    first, last = np.flatnonzero(nz)[0], np.flatnonzero(nz)[-1]
+    assert mf.counts[first] > mf.counts[last]

@@ -1,0 +1,102 @@
+"""SPH kernel and local density estimation."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.analysis import cubic_spline_kernel, knn_neighbors, sph_density, tophat_density
+
+
+def test_kernel_positive_with_compact_support():
+    h = 2.0
+    r = np.linspace(0, 3, 100)
+    w = cubic_spline_kernel(r, h)
+    assert np.all(w[r < h] > 0)
+    assert np.all(w[r >= h] == 0)
+
+
+def test_kernel_monotone_decreasing():
+    w = cubic_spline_kernel(np.linspace(0, 1.99, 50), 2.0)
+    assert np.all(np.diff(w) <= 1e-12)
+
+
+def test_kernel_normalized_in_3d():
+    """∫ W(r) 4πr² dr = 1."""
+    h = 1.7
+
+    def integrand(r):
+        return 4 * np.pi * r * r * cubic_spline_kernel(np.asarray([r]), h)[0]
+
+    val, _ = integrate.quad(integrand, 0, h)
+    assert val == pytest.approx(1.0, rel=1e-6)
+
+
+def test_knn_excludes_self(rng):
+    pos = rng.uniform(0, 5, (60, 3))
+    idx, dist = knn_neighbors(pos, 4)
+    assert idx.shape == (60, 4)
+    for i in range(60):
+        assert i not in idx[i]
+        assert np.all(np.diff(dist[i]) >= -1e-12)
+
+
+def test_knn_matches_brute_force(rng):
+    pos = rng.uniform(0, 5, (80, 3))
+    idx, dist = knn_neighbors(pos, 5)
+    for i in range(0, 80, 13):
+        d = np.sqrt(np.sum((pos - pos[i]) ** 2, axis=1))
+        d[i] = np.inf
+        expect = np.sort(d)[:5]
+        assert np.allclose(np.sort(dist[i]), expect)
+
+
+def test_knn_k_too_large():
+    with pytest.raises(ValueError):
+        knn_neighbors(np.zeros((3, 3)), 3)
+
+
+def test_density_higher_in_cluster(rng):
+    """Particles inside a tight blob must have higher density than
+    isolated background particles."""
+    blob = rng.normal(5.0, 0.2, (100, 3))
+    background = rng.uniform(0, 10, (50, 3))
+    pos = np.concatenate([blob, background])
+    rho = sph_density(pos, k=16)
+    assert np.median(rho[:100]) > 10 * np.median(rho[100:])
+
+
+def test_density_ranking_consistent_between_estimators(rng):
+    blob = rng.normal(5.0, 0.4, (80, 3))
+    bg = rng.uniform(0, 10, (40, 3))
+    pos = np.concatenate([blob, bg])
+    a = sph_density(pos, k=12)
+    b = tophat_density(pos, k=12)
+    # rank correlation between the two estimators is strong
+    ra = np.argsort(np.argsort(a))
+    rb = np.argsort(np.argsort(b))
+    corr = np.corrcoef(ra, rb)[0, 1]
+    assert corr > 0.9
+
+
+def test_density_scales_with_mass(rng):
+    pos = rng.uniform(0, 2, (50, 3))
+    a = sph_density(pos, mass=1.0, k=8)
+    b = sph_density(pos, mass=3.0, k=8)
+    assert np.allclose(b, 3 * a)
+
+
+def test_density_uniform_field_approximates_mean(rng):
+    """For a uniform distribution the SPH estimate is near n/V."""
+    n, box = 600, 10.0
+    pos = rng.uniform(0, box, (n, 3))
+    rho = sph_density(pos, k=32)
+    expected = n / box**3
+    # interior particles only (edges are underdense by construction)
+    interior = np.all((pos > 2) & (pos < 8), axis=1)
+    assert np.median(rho[interior]) == pytest.approx(expected, rel=0.5)
+
+
+def test_tiny_group_degenerate_path():
+    rho = sph_density(np.zeros((3, 3)), k=32)
+    assert len(rho) == 3
+    assert np.all(rho == 3.0)

@@ -1,0 +1,86 @@
+"""Disjoint-set forest invariants (+ hypothesis model check)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import DisjointSet
+
+
+def test_initially_all_singletons():
+    dsu = DisjointSet(5)
+    assert dsu.n_components == 5
+    assert len(set(dsu.labels())) == 5
+
+
+def test_union_reduces_components():
+    dsu = DisjointSet(4)
+    dsu.union(0, 1)
+    assert dsu.n_components == 3
+    dsu.union(0, 1)  # idempotent
+    assert dsu.n_components == 3
+
+
+def test_connected_transitive():
+    dsu = DisjointSet(5)
+    dsu.union(0, 1)
+    dsu.union(1, 2)
+    assert dsu.connected(0, 2)
+    assert not dsu.connected(0, 3)
+
+
+def test_labels_canonical_per_component():
+    dsu = DisjointSet(6)
+    dsu.union(0, 3)
+    dsu.union(3, 5)
+    dsu.union(1, 2)
+    labels = dsu.labels()
+    assert labels[0] == labels[3] == labels[5]
+    assert labels[1] == labels[2]
+    assert labels[0] != labels[1] != labels[4]
+
+
+def test_component_sizes():
+    dsu = DisjointSet(6)
+    dsu.union_pairs([0, 1, 3], [1, 2, 4])
+    roots, sizes = dsu.component_sizes()
+    assert sorted(sizes) == [1, 2, 3]
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        DisjointSet(-1)
+
+
+def test_empty_set():
+    dsu = DisjointSet(0)
+    assert dsu.n_components == 0
+    assert len(dsu.labels()) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(1, 60),
+    edges=st.lists(st.tuples(st.integers(0, 59), st.integers(0, 59)), max_size=120),
+)
+def test_prop_matches_networkx_components(n, edges):
+    """The DSU must agree with networkx's connected components."""
+    import networkx as nx
+
+    edges = [(a % n, b % n) for a, b in edges]
+    dsu = DisjointSet(n)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for a, b in edges:
+        dsu.union(a, b)
+        g.add_edge(a, b)
+    labels = dsu.labels()
+    components = list(nx.connected_components(g))
+    assert dsu.n_components == len(components)
+    for comp in components:
+        comp = sorted(comp)
+        assert len({labels[i] for i in comp}) == 1
+    # distinct components have distinct labels
+    reps = {labels[min(c)] for c in components}
+    assert len(reps) == len(components)

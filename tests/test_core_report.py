@@ -1,0 +1,94 @@
+"""Table/figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InSituOnlyWorkflow,
+    OfflineOnlyWorkflow,
+    WorkloadProfile,
+    figure_histogram,
+    format_bytes,
+    render_table,
+    table3,
+    table4,
+)
+from repro.machines import PAPER_CALIBRATION, TITAN
+
+
+@pytest.fixture(scope="module")
+def small_profile():
+    return WorkloadProfile(
+        n_particles=10_000_000,
+        n_sim_nodes=8,
+        n_steps=10,
+        halo_counts=np.asarray([100, 5_000, 50_000]),
+        halo_owner=np.asarray([0, 1, 2]),
+    )
+
+
+@pytest.mark.parametrize(
+    "nbytes,expected",
+    [
+        (500, "500 B"),
+        (2_048, "2.0 KB"),
+        (38.7e9, "38.7 GB"),
+        (20e12, "20.0 TB"),
+        (2.5e15, "2.5 PB"),
+    ],
+)
+def test_format_bytes(nbytes, expected):
+    assert format_bytes(nbytes) == expected
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "bb"], [["1", "222"], ["33", "4"]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a " in lines[1] and "bb" in lines[1]
+    # all rows have equal width
+    assert len({len(l) for l in lines[2:]}) <= 2
+
+
+def test_table3_contains_all_methods(small_profile):
+    reports = [
+        InSituOnlyWorkflow(PAPER_CALIBRATION, TITAN).evaluate(small_profile),
+        OfflineOnlyWorkflow(PAPER_CALIBRATION, TITAN).evaluate(small_profile),
+    ]
+    out = table3(reports)
+    assert "in-situ" in out and "off-line" in out
+    assert "Core hrs" in out
+
+
+def test_table4_includes_phases(small_profile):
+    report = OfflineOnlyWorkflow(PAPER_CALIBRATION, TITAN).evaluate(small_profile)
+    out = table4(report)
+    assert "Sim" in out and "Redistribute" in out
+    assert "core-hours" in out
+
+
+def test_figure_histogram_log_bars():
+    values = np.asarray([1.0] * 100 + [5.0])
+    edges = np.asarray([0.0, 2.0, 10.0])
+    out = figure_histogram(values, edges, label="demo")
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "100" in lines[1] and lines[1].count("#") > lines[2].count("#")
+
+
+def test_figure_histogram_precomputed_counts():
+    edges = np.asarray([0.0, 1.0, 2.0])
+    out = figure_histogram(np.empty(0), edges, counts=np.asarray([3, 7]))
+    assert "3" in out and "7" in out
+
+
+def test_figure_histogram_linear_mode():
+    edges = np.asarray([0.0, 1.0, 2.0])
+    out = figure_histogram(
+        np.empty(0), edges, counts=np.asarray([1, 100]), log_counts=False, width=10
+    )
+    lines = out.splitlines()
+    # linear scaling: the small bin renders (almost) no bar, the big one
+    # the full width
+    assert lines[0].count("#") <= 1
+    assert lines[1].count("#") == 10

@@ -1,0 +1,301 @@
+"""Workflow engine: accounting, workload profiles, planner, strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CombinedWorkflow,
+    InSituOnlyWorkflow,
+    JobLedger,
+    OfflineOnlyWorkflow,
+    WorkloadProfile,
+    evaluate_all,
+    lpt_assign,
+    plan_split,
+    profile_from_context,
+    qcontinuum_like_profile,
+    synthetic_halo_catalog,
+    test_run_like_profile as make_test_run_profile,
+)
+from repro.machines import MOONLIGHT, PAPER_CALIBRATION, TITAN
+
+COST = PAPER_CALIBRATION
+
+
+# --- accounting -------------------------------------------------------------------
+
+
+def test_job_ledger_phases_and_core_hours():
+    ledger = JobLedger(name="job", machine=TITAN, nodes=32)
+    ledger.add("sim", 772.0)
+    ledger.add("analysis", 722.0)
+    assert ledger.total_seconds == pytest.approx(1494.0)
+    assert ledger.core_hours == pytest.approx(1494 * 32 * 30 / 3600, rel=1e-6)
+    assert ledger.seconds("sim") == 772.0
+    assert ledger.seconds("nothing") == 0.0
+    row = ledger.as_row()
+    assert row["total"] == pytest.approx(1494.0)
+
+
+# --- workload profiles --------------------------------------------------------------
+
+
+def test_profile_derived_quantities():
+    p = WorkloadProfile(
+        n_particles=1000,
+        n_sim_nodes=4,
+        n_steps=10,
+        halo_counts=np.asarray([50, 200, 500]),
+        halo_owner=np.asarray([0, 1, 1]),
+    )
+    assert p.n_halos == 3
+    assert p.largest_halo == 500
+    assert p.level1_bytes == 36_000
+    assert p.level2_particles(100) == 700
+    assert p.level2_bytes(100) == 700 * 36
+    pairs = p.pair_counts()
+    assert pairs[2] == 500 * 499
+    node = p.node_pairs()
+    assert node[1] == pairs[1] + pairs[2]
+    assert node[2] == 0 and node[3] == 0
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        WorkloadProfile(10, 2, 1, np.asarray([5]), np.asarray([0, 1]))
+    with pytest.raises(ValueError):
+        WorkloadProfile(10, 2, 1, np.asarray([5]), np.asarray([7]))
+
+
+def test_profile_scaling_self_similar():
+    p = WorkloadProfile(
+        n_particles=1000,
+        n_sim_nodes=2,
+        n_steps=10,
+        halo_counts=np.asarray([50, 500]),
+        halo_owner=np.asarray([0, 1]),
+    )
+    big = p.scaled(8)
+    assert big.n_particles == 8000
+    assert big.n_sim_nodes == 16
+    assert big.n_halos == 16
+    assert big.largest_halo == 500  # same resolution: same max halo
+    assert big.level1_bytes == 8 * p.level1_bytes
+
+
+def test_synthetic_catalog_shape():
+    c = synthetic_halo_catalog(50_000, seed=1)
+    assert len(c) == 50_000
+    assert c.min() >= 40
+    # steeply falling: medians far below the tail
+    assert np.median(c) < 0.01 * c.max()
+
+
+def test_synthetic_catalog_cap_and_determinism():
+    a = synthetic_halo_catalog(1000, seed=2, m_cap=5000)
+    assert a.max() <= 5000
+    b = synthetic_halo_catalog(1000, seed=2, m_cap=5000)
+    assert np.array_equal(a, b)
+
+
+def test_test_run_profile_matches_paper_quotes():
+    p = make_test_run_profile()
+    assert p.n_particles == 1024**3
+    assert p.n_sim_nodes == 32
+    assert p.largest_halo == 2_548_321  # the paper's quoted maximum
+    assert p.n_halos == pytest.approx(167_686_789 // 512, rel=0.01)
+    # off-loaded count ~ 84,719/512 within a factor ~2
+    off = (p.halo_counts > 300_000).sum()
+    assert 60 < off < 350
+
+
+def test_qcontinuum_profile_giants():
+    p = qcontinuum_like_profile()
+    assert p.n_particles == 8192**3
+    assert p.largest_halo == 25_000_000  # "up to 25 million particles"
+    assert p.n_sim_nodes == 16384
+
+
+def test_profile_from_context(mini_sim):
+    from repro.insitu import HaloFinderAlgorithm, InSituAnalysisManager
+
+    mgr = InSituAnalysisManager()
+    mgr.register(HaloFinderAlgorithm(min_count=40, n_ranks=4))
+    ctx = mgr.execute(mini_sim, 99, 1.0)
+    p = profile_from_context(ctx, n_particles=len(mini_sim.particles), n_steps=24)
+    assert p.n_sim_nodes == 4
+    assert p.n_halos == len(ctx.store["fof"]["halos"])
+    assert p.n_particles == 24**3
+
+
+# --- planner -----------------------------------------------------------------------
+
+
+def test_lpt_assign_balances():
+    costs = np.asarray([10.0, 9, 8, 1, 1, 1])
+    assign = lpt_assign(costs, 3)
+    loads = np.bincount(assign, weights=costs, minlength=3)
+    assert loads.max() <= 11.0
+    assert loads.sum() == costs.sum()
+
+
+def test_lpt_single_rank():
+    assert np.all(lpt_assign(np.asarray([5.0, 3.0]), 1) == 0)
+
+
+def test_planner_all_in_situ_when_halos_small():
+    p = WorkloadProfile(
+        n_particles=10_000_000,
+        n_sim_nodes=32,
+        n_steps=10,
+        halo_counts=np.asarray([100, 500, 1000]),
+        halo_owner=np.asarray([0, 1, 2]),
+    )
+    plan = plan_split(p, COST, TITAN)
+    assert plan.all_in_situ
+    assert plan.m_max_sim == 1000
+    assert plan.n_offline_ranks == 0
+
+
+def test_planner_test_run_is_borderline():
+    """At 1024³ the largest halo (~422 s) just undercuts t_io (~439 s):
+    the automated rule finds the test problem borderline, exactly the
+    paper's point that the in-situ/off-line gap widens with volume."""
+    p = make_test_run_profile()
+    plan = plan_split(p, COST, TITAN)
+    assert plan.m_max_io == pytest.approx(p.largest_halo, rel=0.15)
+
+
+def test_planner_offloads_qcontinuum_giants():
+    """At Q Continuum scale the 25M-particle monsters force off-loading."""
+    p = qcontinuum_like_profile()
+    plan = plan_split(p, COST, TITAN)
+    assert not plan.all_in_situ
+    assert plan.m_max_io < p.largest_halo
+    assert plan.threshold == plan.m_max_io
+    assert plan.offload_mask.sum() > 0
+    # rank count = ceil(T / t_max)
+    assert plan.n_offline_ranks == int(
+        np.ceil(plan.offload_total_seconds / plan.offload_max_seconds)
+    )
+    # LPT assignment covers every offloaded halo
+    assert len(plan.assignment) == plan.offload_mask.sum()
+
+
+def test_planner_m_max_io_consistent_with_tio():
+    p = qcontinuum_like_profile()
+    plan = plan_split(p, COST, TITAN)
+    rate = COST.pair_rate(TITAN, "gpu")
+    t_of_mmax = plan.m_max_io * (plan.m_max_io - 1) / rate
+    assert t_of_mmax == pytest.approx(plan.t_io, rel=0.01)
+
+
+# --- strategies -----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def paper_profile():
+    return make_test_run_profile()
+
+
+@pytest.fixture(scope="module")
+def reports(paper_profile):
+    return {r.name: r for r in evaluate_all(paper_profile, COST, TITAN)}
+
+
+def test_table3_core_hour_ordering(reports):
+    """The paper's headline: combined < in-situ < off-line."""
+    combined = reports["combined/simple"].analysis_core_hours
+    insitu = reports["in-situ"].analysis_core_hours
+    offline = reports["off-line"].analysis_core_hours
+    assert combined < insitu < offline
+
+
+def test_table3_magnitudes(reports):
+    """Within ~25% of the paper's 193 / 356 / 135 core hours."""
+    assert reports["in-situ"].analysis_core_hours == pytest.approx(193, rel=0.25)
+    assert reports["off-line"].analysis_core_hours == pytest.approx(356, rel=0.25)
+    assert reports["combined/simple"].analysis_core_hours == pytest.approx(135, rel=0.25)
+
+
+def test_combined_variants_equal_core_hours(reports):
+    """Co-scheduling changes scheduling, not cost (Table 3: "(same)")."""
+    simple = reports["combined/simple"].analysis_core_hours
+    cosched = reports["combined/coscheduled"].analysis_core_hours
+    assert cosched == pytest.approx(simple, rel=1e-6)
+    # in-transit drops the Level 2 file I/O -> never more expensive
+    assert reports["combined/intransit"].analysis_core_hours <= simple
+
+
+def test_io_and_queueing_descriptors(reports):
+    assert reports["in-situ"].io_level == "none"
+    assert reports["off-line"].io_level == "Level 1"
+    assert reports["combined/simple"].io_level == "Level 2"
+    assert reports["combined/intransit"].io_level == "none"
+    assert reports["combined/coscheduled"].queueing == "partial simult"
+    assert reports["off-line"].queueing == "full"
+
+
+def test_insitu_has_no_postprocessing(reports):
+    assert reports["in-situ"].postprocessing == []
+    assert reports["off-line"].postprocessing[0].nodes == 32
+    assert reports["combined/simple"].postprocessing[0].nodes == 4
+
+
+def test_offline_pays_writes_and_redistribution(reports):
+    post = reports["off-line"].postprocessing[0]
+    assert post.seconds("redistribute") == pytest.approx(435, rel=0.1)
+    assert post.seconds("read") == pytest.approx(5, rel=0.15)
+    assert reports["off-line"].simulation.seconds("write") == pytest.approx(5, rel=0.15)
+
+
+def test_combined_insitu_analysis_cheaper_than_full(reports):
+    """Find + small centers (361 s paper) < find + all centers (722 s)."""
+    combined = reports["combined/simple"].simulation.seconds("analysis")
+    full = reports["in-situ"].simulation.seconds("analysis")
+    assert combined < 0.7 * full
+
+
+def test_intransit_queue_free(reports):
+    post = reports["combined/intransit"].postprocessing[0]
+    assert post.queue_wait == 0.0
+    assert post.seconds("read") == 0.0
+
+
+def test_time_to_science_ranking(paper_profile):
+    """Co-scheduled analysis overlaps the simulation: makespan beats the
+    simple variant's sim-then-analyze."""
+    multi = qcontinuum_like_profile(scale_down=512)
+    simple = CombinedWorkflow(COST, TITAN, variant="simple")
+    cosched = CombinedWorkflow(COST, TITAN, variant="coscheduled")
+    r_simple = simple.evaluate(multi)
+    makespan = cosched.coscheduled_makespan(multi)
+    end_simple = (
+        r_simple.simulation.total_seconds
+        + r_simple.postprocessing[0].queue_wait
+        + r_simple.postprocessing[0].total_seconds
+    )
+    assert makespan < end_simple
+
+
+def test_moonlight_offload(paper_profile):
+    """Off-line analysis on Moonlight costs more node-seconds (0.55x
+    slower GPUs) than the same analysis on Titan."""
+    titan = CombinedWorkflow(COST, TITAN, variant="simple").evaluate(paper_profile)
+    ml = CombinedWorkflow(
+        COST, TITAN, variant="simple", analysis_machine=MOONLIGHT
+    ).evaluate(paper_profile)
+    t_titan = titan.postprocessing[0].seconds("analysis")
+    t_ml = ml.postprocessing[0].seconds("analysis")
+    assert t_titan / t_ml == pytest.approx(0.55, rel=0.01)
+
+
+def test_threshold_none_uses_planner(paper_profile):
+    wf = CombinedWorkflow(COST, TITAN, threshold=None, n_offline_nodes=None)
+    report = wf.evaluate(paper_profile)
+    assert "planner suggests" in report.notes
+
+
+def test_invalid_variant():
+    with pytest.raises(ValueError):
+        CombinedWorkflow(COST, TITAN, variant="quantum")

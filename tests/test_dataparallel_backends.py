@@ -1,0 +1,141 @@
+"""Backend registry and per-backend building-block behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.dataparallel import (
+    SerialBackend,
+    VectorBackend,
+    available_backends,
+    get_backend,
+    set_default_backend,
+    use_backend,
+)
+
+BACKENDS = ["serial", "vector"]
+
+
+def test_registry_contains_both_backends():
+    assert set(BACKENDS) <= set(available_backends())
+
+
+def test_get_backend_by_name_and_instance():
+    be = get_backend("serial")
+    assert isinstance(be, SerialBackend)
+    assert get_backend(be) is be
+
+
+def test_get_backend_unknown_raises():
+    with pytest.raises(KeyError, match="unknown backend"):
+        get_backend("cuda")
+
+
+def test_default_backend_switching():
+    set_default_backend("serial")
+    assert get_backend().name == "serial"
+    set_default_backend("vector")
+    assert get_backend().name == "vector"
+
+
+def test_use_backend_context_restores():
+    set_default_backend("vector")
+    with use_backend("serial") as be:
+        assert be.name == "serial"
+        assert get_backend().name == "serial"
+    assert get_backend().name == "vector"
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_map_applies_elementwise(name):
+    be = get_backend(name)
+    out = be.map(lambda x: x * 2, np.arange(5))
+    assert np.array_equal(out, np.arange(5) * 2)
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_map_multiple_arrays(name):
+    be = get_backend(name)
+    out = be.map(lambda a, b: a + b, np.arange(4), np.ones(4))
+    assert np.array_equal(out, np.arange(4) + 1)
+
+
+def test_map_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        get_backend("serial").map(lambda a, b: a + b, np.arange(3), np.arange(4))
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_reduce_sum(name):
+    be = get_backend(name)
+    assert be.reduce(np.arange(10), np.add, 0) == 45
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_reduce_empty_returns_init(name):
+    be = get_backend(name)
+    assert be.reduce(np.empty(0), np.add, 7) == 7
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_scan_inclusive_exclusive(name):
+    be = get_backend(name)
+    arr = np.asarray([1, 2, 3, 4])
+    inc = be.scan(arr, np.add, exclusive=False, init=0)
+    exc = be.scan(arr, np.add, exclusive=True, init=0)
+    assert np.array_equal(inc, [1, 3, 6, 10])
+    assert np.array_equal(exc, [0, 1, 3, 6])
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_sort_by_key_stable_and_parallel_arrays(name):
+    be = get_backend(name)
+    keys = np.asarray([3, 1, 2, 1])
+    vals = np.asarray([30.0, 10.0, 20.0, 11.0])
+    k, v = be.sort_by_key(keys, vals)
+    assert np.array_equal(k, [1, 1, 2, 3])
+    assert np.array_equal(v, [10.0, 11.0, 20.0, 30.0])  # stable ties
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+@pytest.mark.parametrize(
+    "op,expected",
+    [("sum", [21.0, 9.0]), ("min", [10.0, 9.0]), ("max", [11.0, 9.0]), ("count", [2, 1])],
+)
+def test_reduce_by_key_ops(name, op, expected):
+    be = get_backend(name)
+    keys = np.asarray([1, 1, 2])
+    vals = np.asarray([10.0, 11.0, 9.0])
+    uk, rv = be.reduce_by_key(keys, vals, op)
+    assert np.array_equal(uk, [1, 2])
+    assert np.array_equal(rv, expected)
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_reduce_by_key_empty(name):
+    be = get_backend(name)
+    uk, rv = be.reduce_by_key(np.empty(0, dtype=int), np.empty(0), "sum")
+    assert len(uk) == 0 and len(rv) == 0
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_gather_scatter_roundtrip(name):
+    be = get_backend(name)
+    src = np.asarray([10.0, 20.0, 30.0, 40.0])
+    idx = np.asarray([3, 1])
+    got = be.gather(idx, src)
+    assert np.array_equal(got, [40.0, 20.0])
+    out = np.zeros(4)
+    be.scatter(got, idx, out)
+    assert np.array_equal(out, [0.0, 20.0, 0.0, 40.0])
+
+
+def test_backends_agree_on_random_inputs(rng):
+    keys = rng.integers(0, 20, 200)
+    vals = rng.normal(size=200)
+    s = get_backend("serial")
+    v = get_backend("vector")
+    for op in ("sum", "min", "max", "count"):
+        uk_s, rv_s = s.reduce_by_key(*s.sort_by_key(keys, vals), op)
+        uk_v, rv_v = v.reduce_by_key(*v.sort_by_key(keys, vals), op)
+        assert np.array_equal(uk_s, uk_v)
+        assert np.allclose(rv_s, rv_v)

@@ -1,0 +1,189 @@
+"""Primitive-level behaviour + hypothesis property tests (both backends)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dataparallel import (
+    compact,
+    count_if,
+    exclusive_scan,
+    gather,
+    inclusive_scan,
+    map_,
+    minloc,
+    partition,
+    reduce_,
+    reduce_by_key,
+    segmented_minloc,
+    sort_by_key,
+    unique,
+    zip_arrays,
+)
+
+BACKENDS = ["serial", "vector"]
+
+small_floats = hnp.arrays(
+    np.float64,
+    st.integers(0, 40),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+small_keys = hnp.arrays(np.int64, st.integers(1, 40), elements=st.integers(0, 9))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reduce_default_sum(backend):
+    assert reduce_(np.arange(5), backend=backend) == 10
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_scans_match_numpy(backend):
+    arr = np.asarray([2.0, -1.0, 4.0])
+    assert np.allclose(inclusive_scan(arr, backend=backend), np.cumsum(arr))
+    assert np.allclose(exclusive_scan(arr, backend=backend), [0.0, 2.0, 1.0])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reduce_by_key_unsorted_input(backend):
+    k, v = reduce_by_key(
+        np.asarray([2, 1, 2, 1]), np.asarray([1.0, 2.0, 3.0, 4.0]), "sum", backend=backend
+    )
+    assert np.array_equal(k, [1, 2])
+    assert np.array_equal(v, [6.0, 4.0])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unique_sorted(backend):
+    u = unique(np.asarray([5, 3, 5, 1, 3]), backend=backend)
+    assert np.array_equal(u, [1, 3, 5])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_count_if_and_partition(backend):
+    arr = np.arange(10)
+    assert count_if(arr, lambda x: x % 2 == 0, backend=backend) == 5
+    evens, odds = partition(arr, lambda x: x % 2 == 0, backend=backend)
+    assert np.array_equal(evens, [0, 2, 4, 6, 8])
+    assert np.array_equal(odds, [1, 3, 5, 7, 9])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_compact_scan_scatter_idiom(backend):
+    arr = np.arange(6)
+    flags = np.asarray([1, 0, 1, 0, 0, 1])
+    assert np.array_equal(compact(arr, flags, backend=backend), [0, 2, 5])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_compact_all_and_none(backend):
+    arr = np.arange(4)
+    assert np.array_equal(compact(arr, np.ones(4, dtype=int), backend=backend), arr)
+    assert len(compact(arr, np.zeros(4, dtype=int), backend=backend)) == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_minloc(backend):
+    idx, val = minloc(np.asarray([3.0, -1.0, 2.0]), backend=backend)
+    assert idx == 1 and val == -1.0
+
+
+def test_minloc_empty_raises():
+    with pytest.raises(ValueError):
+        minloc(np.empty(0))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_segmented_minloc_basic(backend):
+    keys = np.asarray([1, 1, 2, 2, 2])
+    vals = np.asarray([5.0, 3.0, 9.0, 1.0, 2.0])
+    payload = np.arange(5) * 10
+    uk, mv, pl = segmented_minloc(keys, vals, payload, backend=backend)
+    assert np.array_equal(uk, [1, 2])
+    assert np.array_equal(mv, [3.0, 1.0])
+    assert np.array_equal(pl, [10, 30])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_segmented_minloc_ties_take_first(backend):
+    keys = np.asarray([7, 7, 7])
+    vals = np.asarray([1.0, 1.0, 1.0])
+    payload = np.asarray([100, 200, 300])
+    _, _, pl = segmented_minloc(keys, vals, payload, backend=backend)
+    assert pl[0] == 100
+
+
+def test_zip_arrays_shape():
+    z = zip_arrays(np.arange(3), np.arange(3) * 2.0)
+    assert z.shape == (3, 2)
+
+
+def test_gather_matches_fancy_indexing(rng):
+    src = rng.normal(size=50)
+    idx = rng.integers(0, 50, 20)
+    assert np.array_equal(gather(idx, src, backend="serial"), src[idx])
+
+
+# ---------------------------------------------------------------------------
+# property-based cross-backend equivalence
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(arr=small_floats)
+def test_prop_scan_backends_agree(arr):
+    a = inclusive_scan(arr, backend="serial")
+    b = inclusive_scan(arr, backend="vector")
+    assert np.allclose(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=small_keys, data=st.data())
+def test_prop_reduce_by_key_matches_bincount(keys, data):
+    vals = np.asarray(
+        data.draw(
+            hnp.arrays(
+                np.float64, len(keys), elements=st.floats(-1e3, 1e3, allow_nan=False)
+            )
+        )
+    )
+    for backend in BACKENDS:
+        uk, rv = reduce_by_key(keys, vals, "sum", backend=backend)
+        expect_keys = np.unique(keys)
+        expected = np.asarray([vals[keys == k].sum() for k in expect_keys])
+        assert np.array_equal(uk, expect_keys)
+        assert np.allclose(rv, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=small_keys, data=st.data())
+def test_prop_segmented_minloc_is_argmin_per_key(keys, data):
+    vals = np.asarray(
+        data.draw(
+            hnp.arrays(
+                np.float64, len(keys), elements=st.floats(-1e3, 1e3, allow_nan=False)
+            )
+        )
+    )
+    payload = np.arange(len(keys))
+    uk, mv, pl = segmented_minloc(keys, vals, payload, backend="vector")
+    for k, m, p in zip(uk, mv, pl):
+        seg = vals[keys == k]
+        assert m == seg.min()
+        assert vals[p] == seg.min() and keys[p] == k
+
+
+@settings(max_examples=40, deadline=None)
+@given(arr=small_floats)
+def test_prop_compact_equals_boolean_indexing(arr):
+    flags = (arr > 0).astype(int)
+    for backend in BACKENDS:
+        assert np.array_equal(compact(arr, flags, backend=backend), arr[arr > 0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=small_keys)
+def test_prop_sort_by_key_is_sorted_permutation(keys):
+    (sk,) = sort_by_key(keys, backend="vector")
+    assert np.array_equal(np.sort(keys), sk)

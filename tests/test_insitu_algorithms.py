@@ -1,0 +1,147 @@
+"""Concrete CosmoTools algorithms against a live mini-simulation."""
+
+import numpy as np
+import pytest
+
+from repro.insitu import (
+    HaloCenterAlgorithm,
+    HaloFinderAlgorithm,
+    InSituAnalysisManager,
+    Level1WriterAlgorithm,
+    Level2WriterAlgorithm,
+    PowerSpectrumAlgorithm,
+    SOMassAlgorithm,
+    SubhaloFinderAlgorithm,
+    tag_index_map,
+)
+from repro.io import GenericIOFile
+from repro.sim import BYTES_PER_PARTICLE
+
+
+@pytest.fixture(scope="module")
+def analyzed(tmp_path_factory):
+    """One mini run with the full algorithm pipeline at the final step."""
+    from repro.sim import HACCSimulation, SimulationConfig
+
+    out = tmp_path_factory.mktemp("spool")
+    mgr = InSituAnalysisManager()
+    last = 20
+    mgr.register(PowerSpectrumAlgorithm(at_steps=last))
+    mgr.register(
+        HaloFinderAlgorithm(at_steps=last, min_count=40, n_ranks=4)
+    )
+    mgr.register(HaloCenterAlgorithm(at_steps=last, threshold=200))
+    mgr.register(SubhaloFinderAlgorithm(at_steps=last, min_parent=150, min_size=15))
+    mgr.register(SOMassAlgorithm(at_steps=last))
+    mgr.register(Level1WriterAlgorithm(at_steps=last, output_dir=str(out), n_ranks=4))
+    mgr.register(Level2WriterAlgorithm(at_steps=last, output_dir=str(out)))
+    sim = HACCSimulation(
+        SimulationConfig(np_per_dim=24, box=40.0, z_initial=30.0, n_steps=last, ng=48),
+        analysis_manager=mgr,
+    )
+    sim.run()
+    return sim, mgr.history[last]
+
+
+def test_tag_index_map_inverse():
+    tags = np.asarray([3, 0, 2, 1], dtype=np.uint64)
+    m = tag_index_map(tags)
+    assert np.array_equal(m[tags], np.arange(4))
+
+
+def test_fof_results_stored(analyzed):
+    sim, ctx = analyzed
+    fof = ctx.store["fof"]
+    assert len(fof["halos"]) > 0
+    assert set(fof["owner_rank"]) == set(fof["halos"])
+    assert all(len(m) >= 40 for m in fof["halos"].values())
+    assert len(ctx.timings["halo_finder_rank_seconds"]) == 4
+
+
+def test_fof_membership_tags_valid(analyzed):
+    sim, ctx = analyzed
+    n = len(sim.particles)
+    for tag, members in ctx.store["fof"]["halos"].items():
+        assert members.min() >= 0 and members.max() < n
+        assert tag == members.min()
+
+
+def test_center_split_respects_threshold(analyzed):
+    sim, ctx = analyzed
+    fof = ctx.store["fof"]
+    cen = ctx.store["centers"]
+    for tag in cen["offloaded_halo_tags"]:
+        assert len(fof["halos"][tag]) > 200
+    for rec in cen["catalog"].records:
+        assert rec["count"] <= 200
+
+
+def test_centers_are_halo_members(analyzed):
+    sim, ctx = analyzed
+    fof = ctx.store["fof"]
+    for rec in ctx.store["centers"]["catalog"].records:
+        assert rec["mbp_tag"] in fof["halos"][int(rec["halo_tag"])]
+
+
+def test_power_spectrum_stored(analyzed):
+    _, ctx = analyzed
+    ps = ctx.store["power_spectrum"]
+    assert len(ps.k) > 0
+    assert np.all(ps.power[ps.k < ps.nyquist / 4] > 0)
+
+
+def test_subhalos_only_large_parents(analyzed):
+    sim, ctx = analyzed
+    fof = ctx.store["fof"]
+    sub = ctx.store["subhalos"]
+    for tag in sub["by_halo"]:
+        assert len(fof["halos"][tag]) > 150
+
+
+def test_so_mass_per_insitu_halo(analyzed):
+    _, ctx = analyzed
+    cen = ctx.store["centers"]
+    som = ctx.store["so_mass"]
+    assert set(som) == set(int(t) for t in cen["catalog"]["halo_tag"])
+    for res in som.values():
+        assert res.mass >= 1.0
+
+
+def test_level1_file_size(analyzed):
+    sim, ctx = analyzed
+    l1 = ctx.store["level1"]
+    gio = GenericIOFile(l1["path"])
+    assert gio.num_blocks == 4
+    total_rows = sum(gio.block_rows(b) for b in range(4))
+    assert total_rows == len(sim.particles)
+    # wire size ~ 36 B/particle (pos 12 + vel 12 + tag 8 + mask 4)
+    assert l1["bytes"] == len(sim.particles) * BYTES_PER_PARTICLE
+
+
+def test_level2_contains_only_offloaded(analyzed):
+    sim, ctx = analyzed
+    l2 = ctx.store["level2"]
+    offloaded = set(ctx.store["centers"]["offloaded_halo_tags"])
+    data = GenericIOFile(l2["path"]).read_all()
+    assert set(np.unique(data["halo_tag"]).tolist()) == offloaded
+    fof = ctx.store["fof"]
+    expected_particles = sum(len(fof["halos"][t]) for t in offloaded)
+    assert l2["n_particles"] == expected_particles
+
+
+def test_level2_reduction_factor(analyzed):
+    sim, ctx = analyzed
+    l1 = ctx.store["level1"]
+    l2 = ctx.store["level2"]
+    assert l2["bytes"] < l1["bytes"]
+
+
+def test_scheduling_mixin_every():
+    alg = PowerSpectrumAlgorithm(every=5)
+    fires = [s for s in range(1, 21) if alg.should_execute(s, 0.5)]
+    assert fires == [5, 10, 15, 20]
+
+
+def test_scheduling_mixin_default_always():
+    alg = PowerSpectrumAlgorithm()
+    assert alg.should_execute(1, 0.1) and alg.should_execute(99, 0.9)

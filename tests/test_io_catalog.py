@@ -1,0 +1,83 @@
+"""Halo catalogs: construction, persistence, merge reconciliation."""
+
+import numpy as np
+import pytest
+
+from repro.io import HaloCatalog, merge_catalogs
+
+
+def _catalog(tags, counts=None, offset=0.0):
+    tags = np.asarray(tags, dtype=np.uint64)
+    n = len(tags)
+    counts = np.full(n, 50) if counts is None else np.asarray(counts)
+    centers = np.column_stack([tags + offset, tags * 2.0, tags * 3.0]).astype(float)
+    return HaloCatalog.from_columns(
+        halo_tag=tags, count=counts, center=centers, particle_mass=2.0
+    )
+
+
+def test_from_columns_basic():
+    cat = _catalog([3, 1, 2])
+    assert len(cat) == 3
+    assert np.array_equal(cat["halo_tag"], [3, 1, 2])
+    assert np.allclose(cat["mass"], 100.0)  # count * particle_mass
+
+
+def test_centers_property_shape():
+    cat = _catalog([1, 2])
+    assert cat.centers.shape == (2, 3)
+    assert np.allclose(cat.centers[:, 1], [2.0, 4.0])
+
+
+def test_center_shape_validation():
+    with pytest.raises(ValueError):
+        HaloCatalog.from_columns(
+            halo_tag=np.asarray([1], dtype=np.uint64),
+            count=np.asarray([5]),
+            center=np.zeros((2, 3)),
+        )
+
+
+def test_sorted_by_tag():
+    cat = _catalog([3, 1, 2]).sorted_by_tag()
+    assert np.array_equal(cat["halo_tag"], [1, 2, 3])
+
+
+def test_save_load_roundtrip(tmp_path):
+    cat = _catalog([5, 9, 2], counts=[10, 20, 30])
+    path = tmp_path / "cat.gio"
+    cat.save(path)
+    loaded = HaloCatalog.load(path)
+    assert np.array_equal(loaded.records, cat.records)
+
+
+def test_merge_disjoint():
+    merged = merge_catalogs(_catalog([1, 3]), _catalog([2, 4]))
+    assert np.array_equal(merged["halo_tag"], [1, 2, 3, 4])
+
+
+def test_merge_with_empty():
+    merged = merge_catalogs(_catalog([1]), HaloCatalog())
+    assert len(merged) == 1
+    assert len(merge_catalogs(HaloCatalog(), HaloCatalog())) == 0
+
+
+def test_merge_duplicate_tags_rejected():
+    with pytest.raises(ValueError, match="multiple catalogs"):
+        merge_catalogs(_catalog([1, 2]), _catalog([2, 3]))
+
+
+def test_merge_three_way():
+    merged = merge_catalogs(_catalog([10]), _catalog([5]), _catalog([7]))
+    assert np.array_equal(merged["halo_tag"], [5, 7, 10])
+
+
+def test_empty_catalog_default():
+    cat = HaloCatalog()
+    assert len(cat) == 0
+    assert cat.centers.shape == (0, 3)
+
+
+def test_wrong_dtype_rejected():
+    with pytest.raises(ValueError, match="dtype"):
+        HaloCatalog(np.zeros(3, dtype=np.float64))

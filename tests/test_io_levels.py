@@ -1,0 +1,68 @@
+"""Data-level size model (Table 1 machinery)."""
+
+import pytest
+
+from repro.io import (
+    DataLevel,
+    DataLevelSizes,
+    HALO_CENTER_RECORD_BYTES,
+    level1_bytes,
+    level2_bytes,
+    level3_bytes,
+    table1_row,
+)
+from repro.sim import BYTES_PER_PARTICLE
+
+
+def test_level_enum_values():
+    assert DataLevel.RAW == 1
+    assert DataLevel.REDUCED == 2
+    assert DataLevel.DERIVED == 3
+
+
+def test_level1_is_36_bytes_per_particle():
+    assert level1_bytes(1024**3) == 1024**3 * 36
+
+
+def test_paper_level1_sizes():
+    """Table 1: ~40 GB at 1024³ and ~20 TB at 8192³ raw particles."""
+    assert level1_bytes(1024**3) == pytest.approx(40e9, rel=0.05)
+    assert level1_bytes(8192**3) == pytest.approx(20e12, rel=0.05)
+
+
+def test_level2_same_record_size():
+    assert level2_bytes(100) == 100 * BYTES_PER_PARTICLE
+
+
+def test_level3_record_order_of_magnitude():
+    """Table 1: halo centers ~43 MB at 1024³ — implies O(50) bytes/halo
+    for ~1M halos; our record is the same order."""
+    n_halos_1024 = 167_686_789 // 512
+    size = level3_bytes(n_halos_1024)
+    assert 10e6 < size < 100e6
+
+
+def test_sizes_dataclass_reduction_factor():
+    s = DataLevelSizes(n_particles=1000, n_level2_particles=200, n_halos=10)
+    assert s.reduction_factor == pytest.approx(5.0)
+    assert s.level1 == 36000
+    assert s.level2 == 7200
+    assert s.level3 == 10 * HALO_CENTER_RECORD_BYTES
+
+
+def test_reduction_factor_empty_level2():
+    s = DataLevelSizes(n_particles=10, n_level2_particles=0, n_halos=1)
+    assert s.reduction_factor == float("inf")
+
+
+def test_scaled_preserves_reduction():
+    s = DataLevelSizes(n_particles=1000, n_level2_particles=200, n_halos=10)
+    big = s.scaled(512)
+    assert big.n_particles == 512_000
+    assert big.reduction_factor == pytest.approx(s.reduction_factor)
+    assert big.n_halos == 5120
+
+
+def test_table1_row_keys():
+    row = table1_row(DataLevelSizes(100, 20, 5))
+    assert set(row) == {"level1_bytes", "level2_bytes", "level3_bytes", "reduction_factor"}

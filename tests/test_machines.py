@@ -1,0 +1,320 @@
+"""Facility layer: machines, cost model, scheduler, listener, storage."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.machines import (
+    BatchTemplate,
+    CostModel,
+    Job,
+    Listener,
+    MOONLIGHT,
+    PAPER_CALIBRATION,
+    QueuePolicy,
+    RHEA,
+    Scheduler,
+    TITAN,
+    burst_buffer_like,
+    lustre_like,
+)
+
+# --- machines -------------------------------------------------------------------
+
+
+def test_titan_charge_policy():
+    """Paper: "an hour per node leads to a charge of 30 core hours"."""
+    assert TITAN.core_hours(3600.0, 1) == pytest.approx(30.0)
+    assert TITAN.core_hours(722.0, 32) == pytest.approx(193.0, rel=0.01)  # Table 3
+
+
+def test_machine_node_limit():
+    with pytest.raises(ValueError):
+        MOONLIGHT.core_hours(60.0, MOONLIGHT.n_nodes + 1)
+
+
+def test_queue_wait_monotone_in_size():
+    w_small = TITAN.queue.expected_wait(4, TITAN.n_nodes)
+    w_big = TITAN.queue.expected_wait(TITAN.n_nodes, TITAN.n_nodes)
+    assert w_big > 10 * w_small
+    assert w_big == pytest.approx(TITAN.queue.full_machine_wait_seconds)
+
+
+def test_titan_small_job_policy():
+    assert TITAN.queue.max_concurrent_small(100) == 2
+    assert TITAN.queue.max_concurrent_small(125) is None
+
+
+def test_rhea_has_no_gpu():
+    assert not RHEA.has_gpu
+    assert MOONLIGHT.gpu_factor == pytest.approx(0.55)
+
+
+# --- cost model -----------------------------------------------------------------
+
+
+def test_paper_anchor_sim_time():
+    """1024³ x 60 steps on 32 nodes ≈ 772 s (Table 4)."""
+    t = PAPER_CALIBRATION.sim_seconds(1024**3, 60, 32)
+    assert t == pytest.approx(772.0, rel=0.05)
+
+
+def test_paper_anchor_level1_io():
+    """38.7 GB Level 1 write/read on 32 nodes ≈ 5 s (Table 4)."""
+    t = PAPER_CALIBRATION.io_seconds(1024**3 * 36, 32)
+    assert t == pytest.approx(5.0, rel=0.05)
+
+
+def test_paper_anchor_redistribute():
+    """Level 1 redistribution on 32 nodes ≈ 435 s (Table 4)."""
+    t = PAPER_CALIBRATION.redistribute_seconds(1024**3 * 36, 32)
+    assert t == pytest.approx(435.0, rel=0.05)
+
+
+def test_paper_anchor_largest_halo_centering():
+    """The 2.5M-particle halo costs ~422 s on one Titan GPU node (the
+    722-300 split of the in-situ analysis)."""
+    pairs = 2_548_321 * (2_548_321 - 1)
+    t = PAPER_CALIBRATION.center_seconds(pairs, TITAN, backend="gpu")
+    assert t == pytest.approx(422.0, rel=0.05)
+
+
+def test_gpu_cpu_factor_fifty():
+    pairs = 1e12
+    gpu = PAPER_CALIBRATION.center_seconds(pairs, TITAN, backend="gpu")
+    cpu = PAPER_CALIBRATION.center_seconds(pairs, TITAN, backend="cpu")
+    assert cpu / gpu == pytest.approx(50.0)
+
+
+def test_moonlight_055_factor():
+    pairs = 1e12
+    titan = PAPER_CALIBRATION.center_seconds(pairs, TITAN, backend="gpu")
+    ml = PAPER_CALIBRATION.center_seconds(pairs, MOONLIGHT, backend="gpu")
+    assert titan / ml == pytest.approx(0.55)
+
+
+def test_gpu_on_cpu_machine_raises():
+    with pytest.raises(ValueError):
+        PAPER_CALIBRATION.pair_rate(RHEA, backend="gpu")
+
+
+def test_io_aggregate_cap():
+    """At Q Continuum scale reads hit the Lustre cap: 20 TB in ~10 min."""
+    t = PAPER_CALIBRATION.io_seconds(8192**3 * 36, 16384)
+    assert t == pytest.approx(566.0, rel=0.1)
+
+
+def test_calibration_helpers():
+    m = CostModel().with_anchor_fof(1024**3 / 32, 300.0)
+    assert m.fof_seconds(1024**3 / 32) == pytest.approx(300.0)
+    m2 = CostModel().with_anchor_sim(1000, 10, 2, 50.0)
+    assert m2.sim_seconds(1000, 10, 2) == pytest.approx(50.0)
+
+
+def test_subhalo_cost_model_superlinear():
+    m = PAPER_CALIBRATION
+    small = m.subhalo_seconds(np.asarray([10_000]))
+    big = m.subhalo_seconds(np.asarray([100_000]))
+    assert big > 10 * small
+
+
+# --- scheduler -------------------------------------------------------------------
+
+
+def _machine(nodes=10, small=None, cap=None):
+    from repro.machines import MachineSpec
+
+    return MachineSpec(
+        name="toy",
+        n_nodes=nodes,
+        cores_per_node=1,
+        charge_factor=1.0,
+        has_gpu=True,
+        queue=QueuePolicy(small_job_nodes=small, max_small_jobs=cap),
+    )
+
+
+def test_scheduler_serial_when_capacity_bound():
+    s = Scheduler(_machine(nodes=4))
+    a = s.submit(Job("a", n_nodes=4, duration=10))
+    b = s.submit(Job("b", n_nodes=4, duration=10))
+    assert s.run() == pytest.approx(20.0)
+    assert a.start_time == 0.0 and b.start_time == 10.0
+
+
+def test_scheduler_parallel_when_fits():
+    s = Scheduler(_machine(nodes=8))
+    s.submit(Job("a", n_nodes=4, duration=10))
+    s.submit(Job("b", n_nodes=4, duration=10))
+    assert s.run() == pytest.approx(10.0)
+
+
+def test_scheduler_dependencies():
+    s = Scheduler(_machine())
+    sim = s.submit(Job("sim", n_nodes=2, duration=100))
+    post = s.submit(Job("post", n_nodes=2, duration=50, after=[sim]))
+    s.run()
+    assert post.start_time >= sim.end_time
+    assert post.queue_wait == pytest.approx(0.0)
+
+
+def test_scheduler_submit_times_respected():
+    s = Scheduler(_machine())
+    j = s.submit(Job("late", n_nodes=1, duration=5, submit_time=42.0))
+    s.run()
+    assert j.start_time == pytest.approx(42.0)
+
+
+def test_titan_small_job_rule_limits_concurrency():
+    """Only two sub-threshold jobs may run simultaneously."""
+    s = Scheduler(_machine(nodes=100, small=10, cap=2))
+    jobs = [s.submit(Job(f"j{i}", n_nodes=1, duration=10)) for i in range(4)]
+    makespan = s.run()
+    # 4 jobs, pairwise: 2 waves of 10 s
+    assert makespan == pytest.approx(20.0)
+    running_at_5 = sum(1 for j in jobs if j.start_time <= 5 < j.end_time)
+    assert running_at_5 == 2
+
+
+def test_large_jobs_unconstrained_by_small_rule():
+    s = Scheduler(_machine(nodes=100, small=10, cap=2))
+    jobs = [s.submit(Job(f"j{i}", n_nodes=20, duration=10)) for i in range(4)]
+    assert s.run() == pytest.approx(10.0)
+
+
+def test_scheduler_job_validation():
+    s = Scheduler(_machine(nodes=4))
+    with pytest.raises(ValueError):
+        s.submit(Job("big", n_nodes=5, duration=1))
+    with pytest.raises(ValueError):
+        s.submit(Job("zero", n_nodes=0, duration=1))
+    with pytest.raises(ValueError):
+        s.submit(Job("neg", n_nodes=1, duration=-1))
+
+
+def test_coscheduling_overlaps_with_producer():
+    """Analysis jobs submitted while the 'simulation' runs finish far
+    earlier than a single job queued after it — the co-scheduling win."""
+    sim_duration = 100.0
+    n_snaps = 10
+    per_job = 8.0
+
+    cosched = Scheduler(_machine(nodes=4))
+    for i in range(n_snaps):
+        cosched.submit(
+            Job(f"a{i}", n_nodes=1, duration=per_job, submit_time=(i + 1) * 10.0)
+        )
+    t_cosched = cosched.run()
+
+    t_after = sim_duration + n_snaps * per_job / 4  # one 4-node job after
+    assert t_cosched < t_after + sim_duration  # overlap reduces time-to-science
+    assert t_cosched == pytest.approx(108.0)  # last snapshot at 100 + 8
+
+
+# --- listener ---------------------------------------------------------------------
+
+
+def test_listener_poll_once_detects_new_files(tmp_path):
+    calls = []
+    listener = Listener(tmp_path, "l2_step*.gio", lambda p, s, t: calls.append((p, s)))
+    assert listener.poll_once() == []
+    (tmp_path / "l2_step0007.gio").write_bytes(b"x")
+    fresh = listener.poll_once()
+    assert len(fresh) == 1
+    assert calls[0][1] == 7
+    # no duplicate submission on next poll
+    assert listener.poll_once() == []
+    assert listener.stats.jobs_submitted == 1
+
+
+def test_listener_processes_in_step_order(tmp_path):
+    steps = []
+    listener = Listener(tmp_path, "l2_step*.gio", lambda p, s, t: steps.append(s))
+    for s in (12, 3, 7):
+        (tmp_path / f"l2_step{s:04d}.gio").write_bytes(b"x")
+    listener.poll_once()
+    assert steps == [3, 7, 12]
+    assert listener.stats.max_backlog == 3
+
+
+def test_listener_renders_batch_template(tmp_path):
+    scripts = []
+    listener = Listener(
+        tmp_path,
+        "l2_step*.gio",
+        lambda p, s, t: scripts.append(t),
+        template=BatchTemplate(nodes=4),
+    )
+    (tmp_path / "l2_step0042.gio").write_bytes(b"x")
+    listener.poll_once()
+    assert "nodes=4" in scripts[0]
+    assert "--step 42" in scripts[0]
+    assert "l2_step0042.gio" in scripts[0]
+
+
+def test_listener_bad_filename_raises(tmp_path):
+    listener = Listener(tmp_path, "*.gio", lambda *a: None)
+    (tmp_path / "nostep.gio").write_bytes(b"x")
+    with pytest.raises(ValueError):
+        listener.poll_once()
+
+
+def test_listener_threaded_catches_files_during_run(tmp_path):
+    hits = []
+    listener = Listener(
+        tmp_path, "l2_step*.gio", lambda p, s, t: hits.append(s), poll_interval=0.02
+    )
+    listener.start()
+    with pytest.raises(RuntimeError):
+        listener.start()  # double start rejected
+    try:
+        for s in range(3):
+            (tmp_path / f"l2_step{s:04d}.gio").write_bytes(b"x")
+            time.sleep(0.05)
+    finally:
+        listener.stop(final_poll=True)
+    assert sorted(hits) == [0, 1, 2]
+    assert listener.stats.polls >= 3
+
+
+def test_listener_final_poll_catches_last_file(tmp_path):
+    """Paper: an extra listener pass after the run catches late output."""
+    hits = []
+    listener = Listener(tmp_path, "l2_step*.gio", lambda p, s, t: hits.append(s))
+    listener.start()
+    listener.stop(final_poll=False)
+    (tmp_path / "l2_step0099.gio").write_bytes(b"x")  # lands after stop
+    listener.stop(final_poll=True)
+    assert hits == [99]
+
+
+# --- storage ---------------------------------------------------------------------
+
+
+def test_storage_accounting():
+    disk = lustre_like()
+    t = disk.write_seconds(int(1e9), 4)
+    assert t > 0
+    disk.read_seconds(int(5e8), 2)
+    assert disk.bytes_written == int(1e9)
+    assert disk.bytes_read == int(5e8)
+    assert len(disk.write_events) == 1
+
+
+def test_burst_buffer_faster_than_lustre():
+    disk, bb = lustre_like(), burst_buffer_like()
+    nbytes = int(1e10)
+    assert bb.write_seconds(nbytes, 4) < disk.write_seconds(nbytes, 4) / 5
+
+
+def test_storage_aggregate_cap():
+    disk = lustre_like()
+    # huge client counts saturate at the cap
+    assert disk.read_seconds(int(35e9), 100000) == pytest.approx(1.0)
+
+
+def test_storage_invalid_nodes():
+    with pytest.raises(ValueError):
+        lustre_like().write_seconds(10, 0)

@@ -1,0 +1,101 @@
+"""In-transit staging area: put/get, blocking, capacity back-pressure."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.machines import StagingArea
+
+
+def _blocks(n=10):
+    return [{"pos": np.zeros((n, 3), dtype=np.float32), "tag": np.arange(n, dtype=np.uint64)}]
+
+
+def test_put_get_roundtrip():
+    area = StagingArea()
+    nbytes = area.put("l2_step0001", _blocks())
+    assert nbytes == 10 * 12 + 10 * 8
+    item = area.get("l2_step0001")
+    assert item.n_rows == 10
+    data = item.read_all()
+    assert np.array_equal(data["tag"], np.arange(10))
+
+
+def test_get_drains_by_default():
+    area = StagingArea()
+    area.put("a", _blocks())
+    area.get("a")
+    assert len(area) == 0
+    with pytest.raises(KeyError):
+        area.get("a")
+
+
+def test_get_without_drain_keeps_item():
+    area = StagingArea()
+    area.put("a", _blocks())
+    area.get("a", drain=False)
+    assert "a" in list(area)
+
+
+def test_duplicate_name_rejected():
+    area = StagingArea()
+    area.put("a", _blocks())
+    with pytest.raises(KeyError):
+        area.put("a", _blocks())
+
+
+def test_capacity_back_pressure():
+    area = StagingArea(capacity_bytes=250)
+    area.put("a", _blocks(10))  # 200 bytes
+    with pytest.raises(MemoryError):
+        area.put("b", _blocks(10))
+    area.get("a")  # drain frees space
+    area.put("b", _blocks(10))
+
+
+def test_accounting():
+    area = StagingArea()
+    area.put("a", _blocks(5))
+    area.put("b", _blocks(5))
+    assert area.puts == 2
+    assert area.bytes_staged_total == 2 * (5 * 12 + 5 * 8)
+    assert area.used_bytes == area.bytes_staged_total
+    area.get("a")
+    assert area.gets == 1
+    assert area.used_bytes == 5 * 12 + 5 * 8
+
+
+def test_wait_for_blocks_until_producer():
+    area = StagingArea()
+    got = []
+
+    def consumer():
+        got.append(area.wait_for("late", timeout=5.0))
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    area.put("late", _blocks(3))
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert got[0].n_rows == 3
+
+
+def test_wait_for_timeout():
+    area = StagingArea()
+    with pytest.raises(TimeoutError):
+        area.wait_for("never", timeout=0.1)
+
+
+def test_intransit_workflow_matches_file_transport(tmp_path):
+    """The live in-transit variant produces the identical catalog with
+    zero Level 2 files on disk."""
+    from repro.core import run_combined_workflow, run_intransit_workflow
+    from repro.sim import SimulationConfig
+
+    cfg = SimulationConfig(np_per_dim=16, box=30.0, z_initial=30.0, n_steps=12)
+    a = run_combined_workflow(cfg, tmp_path, threshold=100, min_count=30, n_ranks=4)
+    b = run_intransit_workflow(cfg, threshold=100, min_count=30, n_ranks=4)
+    assert np.array_equal(a.catalog.records, b.catalog.records)
+    assert b.level2_paths == []
+    assert len(b.listener_stats) == 0  # device fully drained

@@ -1,0 +1,105 @@
+"""Overload (ghost) region construction: coverage and periodic shifts."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import CartesianDecomposition, overload_destinations, select_overload
+
+
+@pytest.fixture
+def decomp():
+    return CartesianDecomposition.for_ranks(100.0, 8)  # 2x2x2 grid, 50-cells
+
+
+def _rank_points(decomp, rank, n, rng):
+    lo, hi = decomp.bounds(rank)
+    return rng.uniform(lo, hi, (n, 3))
+
+
+def test_interior_particles_not_replicated(decomp, rng):
+    lo, hi = decomp.bounds(0)
+    center = 0.5 * (lo + hi)
+    pts = rng.uniform(center - 5, center + 5, (100, 3))  # deep interior
+    plan = overload_destinations(decomp, 0, pts, width=2.0)
+    assert plan == {}
+
+
+def test_boundary_particles_go_to_face_neighbor(decomp):
+    lo, hi = decomp.bounds(0)
+    # single particle near the +x face of rank 0
+    p = np.asarray([[hi[0] - 0.5, (lo[1] + hi[1]) / 2, (lo[2] + hi[2]) / 2]])
+    plan = overload_destinations(decomp, 0, p, width=2.0)
+    face_rank = decomp.rank_of_coords(1, 0, 0)
+    assert face_rank in plan
+    idx, shift = plan[face_rank]
+    assert np.array_equal(idx, [0])
+
+
+def test_corner_particle_replicated_to_many(decomp):
+    lo, hi = decomp.bounds(0)
+    p = np.asarray([hi - 0.1])  # near the +++ corner
+    plan = overload_destinations(decomp, 0, p, width=2.0)
+    # on a 2x2x2 periodic grid the 7 other ranks are all corner-adjacent
+    assert len(plan) == 7
+
+
+def test_periodic_shift_applied_across_box_edge(decomp):
+    lo, hi = decomp.bounds(0)
+    p = np.asarray([[lo[0] + 0.1, lo[1] + 10, lo[2] + 10]])  # near x=0 edge
+    plan = overload_destinations(decomp, 0, p, width=2.0)
+    neighbor = decomp.rank_of_coords(-1, 0, 0)
+    assert neighbor in plan
+    shifted = select_overload(p, plan, neighbor)
+    # the receiving (wrapped, high-x) rank's frame ends at x=box: the
+    # ghost must appear just above box, adjacent to its high face
+    assert shifted[0, 0] == pytest.approx(p[0, 0] + 100.0)
+
+
+def test_width_zero_replicates_nothing(decomp, rng):
+    pts = _rank_points(decomp, 0, 200, rng)
+    assert overload_destinations(decomp, 0, pts, width=0.0) == {}
+
+
+def test_negative_width_raises(decomp):
+    with pytest.raises(ValueError):
+        overload_destinations(decomp, 0, np.zeros((1, 3)), width=-1.0)
+
+
+def test_excessive_width_raises(decomp):
+    with pytest.raises(ValueError, match="too large"):
+        overload_destinations(decomp, 0, np.zeros((1, 3)), width=30.0)
+
+
+def test_ghost_coverage_complete(rng):
+    """Every particle within `width` of a rank's sub-box must be visible
+    to that rank after the exchange — the property FOF correctness
+    rests on."""
+    box = 60.0
+    width = 3.0
+    decomp = CartesianDecomposition.for_ranks(box, 8)
+    pos = rng.uniform(0, box, (3000, 3))
+    owners = decomp.rank_of_position(pos)
+
+    # build each rank's ghost view
+    views = {r: [pos[owners == r]] for r in range(8)}
+    for r in range(8):
+        mine = pos[owners == r]
+        plan = overload_destinations(decomp, r, mine, width)
+        for nb in plan:
+            views[nb].append(select_overload(mine, plan, nb))
+
+    for r in range(8):
+        view = np.concatenate(views[r])
+        lo, hi = decomp.bounds(r)
+        # particles whose minimum-image distance to the sub-box is < width
+        gap = np.maximum(
+            np.maximum(lo - pos, 0.0), np.maximum(pos - hi, 0.0)
+        )
+        # account for periodic images
+        gap = np.minimum(gap, box - np.maximum(np.maximum(lo - pos, 0.0), pos - hi))
+        near = np.all(gap < width * 0.999, axis=1)
+        # every near particle must appear in the view (as owned or ghost)
+        for p in pos[near]:
+            d = view - p
+            d -= box * np.round(d / box)
+            assert np.min(np.sum(d * d, axis=1)) < 1e-18

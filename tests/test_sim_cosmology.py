@@ -1,0 +1,96 @@
+"""FLRW background: expansion, growth factor, code-unit factors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Cosmology, QCONTINUUM_COSMOLOGY, a_of_z, z_of_a
+
+
+def test_a_z_roundtrip():
+    for z in (0.0, 0.5, 10.0, 199.0):
+        assert z_of_a(a_of_z(z)) == pytest.approx(z)
+
+
+def test_efunc_today_is_one():
+    assert QCONTINUUM_COSMOLOGY.efunc(1.0) == pytest.approx(1.0)
+
+
+def test_efunc_matter_dominated_scaling():
+    cos = Cosmology(omega_m=1.0, omega_b=0.04)
+    # E(a) = a^-1.5 in an EdS universe
+    assert cos.efunc(0.25) == pytest.approx(0.25**-1.5)
+
+
+def test_omega_m_a_limits():
+    cos = QCONTINUUM_COSMOLOGY
+    assert cos.omega_m_a(1.0) == pytest.approx(cos.omega_m)
+    assert cos.omega_m_a(1e-3) == pytest.approx(1.0, abs=1e-4)  # early times
+
+
+def test_growth_normalized_today():
+    assert QCONTINUUM_COSMOLOGY.growth_factor(1.0) == pytest.approx(1.0)
+
+
+def test_growth_eds_equals_a():
+    cos = Cosmology(omega_m=1.0, omega_b=0.04)
+    for a in (0.1, 0.3, 0.7):
+        assert cos.growth_factor(a) == pytest.approx(a, rel=1e-3)
+
+
+def test_growth_lcdm_suppressed_at_late_times():
+    cos = QCONTINUUM_COSMOLOGY
+    # Lambda suppresses growth: D(a) < a at late times (normalized D(1)=1
+    # means D(a)/a > 1 for a < 1)
+    assert cos.growth_factor(0.5) > 0.5
+
+
+def test_growth_monotonic():
+    cos = QCONTINUUM_COSMOLOGY
+    a = np.linspace(0.02, 1.0, 30)
+    d = cos.growth_factor(a)
+    assert np.all(np.diff(d) > 0)
+
+
+def test_growth_rate_limits():
+    cos = QCONTINUUM_COSMOLOGY
+    assert cos.growth_rate(1e-3) == pytest.approx(1.0, abs=1e-3)
+    assert 0.4 < cos.growth_rate(1.0) < 0.6  # ~omega_m^0.55
+
+
+def test_f_drift_definition():
+    cos = QCONTINUUM_COSMOLOGY
+    a = 0.37
+    assert cos.f_drift(a) == pytest.approx(1.0 / (a * cos.efunc(a)))
+
+
+def test_poisson_factor_scaling():
+    cos = QCONTINUUM_COSMOLOGY
+    assert cos.poisson_factor(0.5) == pytest.approx(2 * cos.poisson_factor(1.0))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"omega_m": 0.0},
+        {"omega_m": 1.5},
+        {"omega_b": 0.5, "omega_m": 0.3},
+        {"h": -1.0},
+        {"sigma8": 0.0},
+    ],
+)
+def test_invalid_parameters_raise(kwargs):
+    with pytest.raises(ValueError):
+        Cosmology(**kwargs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=st.floats(0.01, 1.0))
+def test_prop_growth_bounded_by_eds(a):
+    """ΛCDM growth lies between 0 and the EdS value a (after normalizing
+    at a=1 the ratio D/a decreases with a)."""
+    cos = QCONTINUUM_COSMOLOGY
+    d = cos.growth_factor(a)
+    assert 0 < d <= 1.0
+    assert d >= a * 0.99  # D(a)/a >= 1 for normalized LCDM growth

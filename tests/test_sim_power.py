@@ -1,0 +1,69 @@
+"""Linear power spectrum: normalization, shape, growth scaling."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Cosmology, LinearPower, QCONTINUUM_COSMOLOGY, transfer_eisenstein_hu
+
+
+@pytest.fixture(scope="module")
+def power():
+    return LinearPower(QCONTINUUM_COSMOLOGY)
+
+
+def test_sigma8_normalization(power):
+    assert power.sigma_r(8.0) == pytest.approx(QCONTINUUM_COSMOLOGY.sigma8, rel=1e-3)
+
+
+def test_transfer_limits():
+    cos = QCONTINUUM_COSMOLOGY
+    k = np.asarray([1e-5, 1e3])
+    t = transfer_eisenstein_hu(k, cos)
+    assert t[0] == pytest.approx(1.0, abs=1e-2)  # T -> 1 on large scales
+    assert t[1] < 1e-3  # strongly suppressed on small scales
+
+
+def test_transfer_monotonic_decreasing():
+    k = np.logspace(-4, 2, 200)
+    t = transfer_eisenstein_hu(k, QCONTINUUM_COSMOLOGY)
+    assert np.all(np.diff(t) <= 1e-12)
+
+
+def test_power_positive_and_peaked(power):
+    k = np.logspace(-3, 1, 100)
+    p = power(k)
+    assert np.all(p > 0)
+    peak_k = k[np.argmax(p)]
+    # matter power peaks near the equality scale ~0.01-0.03 h/Mpc
+    assert 0.005 < peak_k < 0.1
+
+
+def test_power_zero_at_k_zero(power):
+    assert power(np.asarray([0.0]))[0] == 0.0
+
+
+def test_power_small_scale_slope(power):
+    # P(k) ~ k^(n_s - 4) asymptotically; slope must be steeply negative
+    k = np.asarray([10.0, 20.0])
+    p = power(k)
+    slope = np.log(p[1] / p[0]) / np.log(2.0)
+    assert slope < -2.0
+
+
+def test_at_redshift_scales_with_growth(power):
+    cos = QCONTINUUM_COSMOLOGY
+    k = np.asarray([0.1])
+    z = 2.0
+    d = cos.growth_factor(1.0 / (1.0 + z))
+    assert power.at_redshift(k, z)[0] == pytest.approx(power(k)[0] * d * d)
+
+
+def test_sigma_r_decreasing(power):
+    assert power.sigma_r(1.0) > power.sigma_r(8.0) > power.sigma_r(32.0)
+
+
+def test_higher_sigma8_scales_power():
+    lo = LinearPower(Cosmology(sigma8=0.7))
+    hi = LinearPower(Cosmology(sigma8=0.9))
+    k = np.asarray([0.1])
+    assert hi(k)[0] / lo(k)[0] == pytest.approx((0.9 / 0.7) ** 2, rel=1e-3)
