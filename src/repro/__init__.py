@@ -30,6 +30,7 @@ Subpackages
 ``repro.io``           GenericIO-style files, data levels, catalogs
 ``repro.machines``     facility simulation (cost model, scheduler, listener)
 ``repro.core``         the combined workflow engine (the contribution)
+``repro.obs``          unified telemetry (events, spans, metrics, reports)
 """
 
 __version__ = "1.0.0"
@@ -41,6 +42,7 @@ __all__ = [
     "insitu",
     "io",
     "machines",
+    "obs",
     "parallel",
     "sim",
 ]

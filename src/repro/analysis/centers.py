@@ -34,7 +34,6 @@ Implementations:
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -40,6 +40,7 @@ from ..io.catalog import HaloCatalog, merge_catalogs
 from ..io.genericio import GenericIOFile
 from ..machines.listener import Listener
 from ..machines.staging import StagingArea
+from ..obs import RunTelemetry, get_recorder
 from ..sim.hacc import HACCSimulation, SimulationConfig
 
 __all__ = [
@@ -61,6 +62,9 @@ class CombinedRunResult:
     offloaded_halo_tags: list[int]
     level2_paths: list[str] = field(default_factory=list)
     listener_stats: object | None = None
+    #: :class:`~repro.obs.report.RunTelemetry` snapshot of the run
+    #: (``None`` when telemetry is disabled — the default).
+    telemetry: RunTelemetry | None = None
 
 
 def centers_from_level2_arrays(
@@ -86,9 +90,10 @@ def centers_from_level2_arrays(
         method=method,
         backend=backend,
     )
-    counts = np.asarray(
-        [int((halo_tags == t).sum()) for t in res.halo_tags], dtype=np.int64
-    )
+    # One O(n log n) pass instead of the former O(halos × particles)
+    # per-tag scan: count every tag once, then gather in result order.
+    uniq, uniq_counts = np.unique(halo_tags, return_counts=True)
+    counts = uniq_counts[np.searchsorted(uniq, res.halo_tags)].astype(np.int64)
     return HaloCatalog.from_columns(
         halo_tag=res.halo_tags.astype(np.uint64),
         count=counts,
@@ -113,18 +118,22 @@ def offline_center_job(
     single-node-job pattern), groups particles by halo tag, and finds
     each halo's MBP center.
     """
-    gio = GenericIOFile(level2_path)
-    if block is not None:
-        data = gio.read_block(block)
-    else:
-        data = gio.read_all()
-    return centers_from_level2_arrays(
-        data,
-        particle_mass=particle_mass,
-        softening=softening,
-        method=method,
-        backend=backend,
-    )
+    rec = get_recorder()
+    with rec.span("offline.center_job", path=os.fspath(level2_path), block=block):
+        gio = GenericIOFile(level2_path)
+        if block is not None:
+            data = gio.read_block(block)
+        else:
+            data = gio.read_all()
+        catalog = centers_from_level2_arrays(
+            data,
+            particle_mass=particle_mass,
+            softening=softening,
+            method=method,
+            backend=backend,
+        )
+    rec.counter("offline_jobs_total").inc()
+    return catalog
 
 
 def run_combined_workflow(
@@ -144,9 +153,16 @@ def run_combined_workflow(
     otherwise the off-line pass runs after the simulation completes
     (the "simple" variant).  Results are identical either way.
     """
+    rec = get_recorder()
     spool_dir = os.fspath(spool_dir)
     os.makedirs(spool_dir, exist_ok=True)
     last_step = config.n_steps
+    rec.event(
+        "workflow.start",
+        mode="coscheduled" if coschedule else "simple",
+        threshold=threshold,
+        n_steps=config.n_steps,
+    )
 
     manager = InSituAnalysisManager()
     manager.register(
@@ -172,27 +188,37 @@ def run_combined_workflow(
         listener = Listener(
             spool_dir, "l2_step*.gio", submit, poll_interval=listener_poll
         )
-        listener.start()
-        try:
-            sim.run()
-        finally:
-            listener.stop(final_poll=True)
+        with rec.span("workflow.sim", coschedule=True):
+            listener.start()
+            try:
+                sim.run()
+            finally:
+                listener.stop(final_poll=True)
         listener_stats = listener.stats
         level2_paths = sorted(listener.seen)
     else:
-        sim.run()
+        with rec.span("workflow.sim", coschedule=False):
+            sim.run()
         listener = Listener(spool_dir, "l2_step*.gio", submit)
-        fresh = listener.poll_once()  # one shot after the run ("queued after sim")
+        with rec.span("workflow.offline"):
+            fresh = listener.poll_once()  # one shot after the run ("queued after sim")
         listener_stats = listener.stats
         level2_paths = fresh
 
     ctx = manager.history[last_step]
     insitu_catalog: HaloCatalog = ctx.store["centers"]["catalog"]
     offloaded = ctx.store["centers"]["offloaded_halo_tags"]
-    offline_catalog = (
-        merge_catalogs(*offline_catalogs) if offline_catalogs else HaloCatalog()
+    with rec.span("workflow.merge"):
+        offline_catalog = (
+            merge_catalogs(*offline_catalogs) if offline_catalogs else HaloCatalog()
+        )
+        merged = merge_catalogs(insitu_catalog, offline_catalog)
+    rec.event(
+        "workflow.done",
+        halos=len(merged),
+        offloaded=len(offloaded),
+        jobs_failed=getattr(listener_stats, "jobs_failed", 0),
     )
-    merged = merge_catalogs(insitu_catalog, offline_catalog)
     return CombinedRunResult(
         catalog=merged,
         insitu_catalog=insitu_catalog,
@@ -200,6 +226,7 @@ def run_combined_workflow(
         offloaded_halo_tags=offloaded,
         level2_paths=list(level2_paths),
         listener_stats=listener_stats,
+        telemetry=RunTelemetry.from_recorder(rec),
     )
 
 
@@ -224,8 +251,12 @@ def run_intransit_workflow(
     """
     import threading
 
+    rec = get_recorder()
     last_step = config.n_steps
     staging = StagingArea(capacity_bytes=staging_capacity)
+    rec.event(
+        "workflow.start", mode="intransit", threshold=threshold, n_steps=config.n_steps
+    )
 
     manager = InSituAnalysisManager()
     manager.register(
@@ -247,31 +278,42 @@ def run_intransit_workflow(
     def consumer() -> None:
         try:
             item = staging.wait_for(f"l2_step{last_step:04d}", timeout=600.0)
-            offline_catalogs.append(centers_from_level2_arrays(item.read_all()))
+            with rec.span("offline.center_job", step=last_step, transport="staging"):
+                offline_catalogs.append(centers_from_level2_arrays(item.read_all()))
+            rec.counter("offline_jobs_total").inc()
         except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            rec.event(
+                "workflow.intransit_error",
+                level="error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
             errors.append(exc)
 
     analysis_thread = threading.Thread(target=consumer, name="intransit", daemon=True)
     analysis_thread.start()
     sim = HACCSimulation(config, analysis_manager=manager)
-    sim.run()
-    analysis_thread.join(timeout=600.0)
+    with rec.span("workflow.sim", coschedule=True, transport="staging"):
+        sim.run()
+        analysis_thread.join(timeout=600.0)
     if errors:
         raise errors[0]
 
     ctx = manager.history[last_step]
     insitu_catalog: HaloCatalog = ctx.store["centers"]["catalog"]
     offloaded = ctx.store["centers"]["offloaded_halo_tags"]
-    offline_catalog = (
-        merge_catalogs(*offline_catalogs) if offline_catalogs else HaloCatalog()
-    )
-    merged = merge_catalogs(insitu_catalog, offline_catalog)
+    with rec.span("workflow.merge"):
+        offline_catalog = (
+            merge_catalogs(*offline_catalogs) if offline_catalogs else HaloCatalog()
+        )
+        merged = merge_catalogs(insitu_catalog, offline_catalog)
+    rec.event("workflow.done", halos=len(merged), offloaded=len(offloaded))
     result = CombinedRunResult(
         catalog=merged,
         insitu_catalog=insitu_catalog,
         offline_catalog=offline_catalog,
         offloaded_halo_tags=offloaded,
         level2_paths=[],  # nothing on disk: that is the point
+        telemetry=RunTelemetry.from_recorder(rec),
     )
     result.listener_stats = staging  # the device carries the run's stats
     return result

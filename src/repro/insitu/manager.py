@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from typing import Iterator
 
+from ..obs import get_recorder
 from .algorithm import AnalysisContext, InSituAlgorithm
 
 __all__ = ["InSituAnalysisManager"]
@@ -71,12 +72,19 @@ class InSituAnalysisManager:
         context = AnalysisContext(step=step, a=a)
         if not due:
             return context
-        for alg in due:
-            t0 = time.perf_counter()
-            alg.execute(sim, context)
-            context.timings.setdefault("wall_seconds", {})[alg.name] = (
-                time.perf_counter() - t0
-            )
+        rec = get_recorder()
+        with rec.span("insitu.execute", step=step, algorithms=len(due)):
+            for alg in due:
+                t0 = time.perf_counter()
+                with rec.span(f"insitu.{alg.name}", step=step):
+                    alg.execute(sim, context)
+                elapsed = time.perf_counter() - t0
+                # keep the historical per-algorithm timings API: consumers
+                # (workflow accounting, tests) read wall_seconds[alg.name]
+                context.timings.setdefault("wall_seconds", {})[alg.name] = elapsed
+                rec.counter("insitu_executions_total").inc()
+                rec.histogram("insitu_algorithm_seconds").observe(elapsed)
+        rec.event("insitu.step_archived", step=step, algorithms=[a.name for a in due])
         self.history[step] = context
         return context
 

@@ -32,6 +32,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import get_recorder
+
 __all__ = ["GenericIOError", "write_genericio", "read_genericio", "read_block", "GenericIOFile"]
 
 MAGIC = b"RGIO1\x00"
@@ -112,13 +114,17 @@ def write_genericio(path: str | os.PathLike, blocks: list[dict[str, np.ndarray]]
         if not changed:
             break
 
-    with open(path, "wb") as fh:
-        fh.write(MAGIC)
-        fh.write(len(header_json).to_bytes(8, "little"))
-        fh.write(header_json)
-        for blk in blocks:
-            for name in names:
-                fh.write(np.ascontiguousarray(blk[name]).tobytes())
+    rec = get_recorder()
+    with rec.span("io.write", path=os.fspath(path), nbytes=payload_bytes):
+        with open(path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(len(header_json).to_bytes(8, "little"))
+            fh.write(header_json)
+            for blk in blocks:
+                for name in names:
+                    fh.write(np.ascontiguousarray(blk[name]).tobytes())
+    rec.counter("io_write_bytes_total").inc(payload_bytes)
+    rec.counter("io_files_written_total").inc()
     return payload_bytes
 
 
@@ -154,6 +160,7 @@ class GenericIOFile:
             raise IndexError(f"block {block} out of range [0, {self.num_blocks})")
         entry = self._blocks[block]
         out: dict[str, np.ndarray] = {}
+        nbytes = 0
         with open(self.path, "rb") as fh:
             for name, dtok in self.schema:
                 var = entry["vars"][name]
@@ -167,14 +174,20 @@ class GenericIOFile:
                     )
                 arr = np.frombuffer(raw, dtype=np.dtype(dtok))
                 out[name] = arr.reshape(var["shape"])
+                nbytes += var["nbytes"]
+        rec = get_recorder()
+        rec.counter("io_read_bytes_total").inc(nbytes)
+        rec.counter("io_blocks_read_total").inc()
         return out
 
     def read_all(self, verify: bool = True) -> dict[str, np.ndarray]:
         """Concatenate every block into one bundle (rank order)."""
-        parts = [self.read_block(b, verify=verify) for b in range(self.num_blocks)]
-        return {
-            name: np.concatenate([p[name] for p in parts]) for name, _ in self.schema
-        }
+        with get_recorder().span("io.read", path=self.path, blocks=self.num_blocks):
+            parts = [self.read_block(b, verify=verify) for b in range(self.num_blocks)]
+            return {
+                name: np.concatenate([p[name] for p in parts])
+                for name, _ in self.schema
+            }
 
 
 def read_genericio(path: str | os.PathLike, verify: bool = True) -> dict[str, np.ndarray]:

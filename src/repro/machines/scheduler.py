@@ -19,6 +19,7 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 
+from ..obs import get_recorder
 from .machine import MachineSpec
 
 __all__ = ["Job", "Scheduler"]
@@ -86,6 +87,7 @@ class Scheduler:
         (conservative, no backfill — matching the paper-era schedulers
         "generally inadequate for the needs of in-transit workflows").
         """
+        rec = get_recorder()
         pending = sorted(
             self.jobs, key=lambda j: (j.submit_time, self.jobs.index(j))
         )
@@ -124,6 +126,20 @@ class Scheduler:
                     heapq.heappush(running, (job.end_time, next(self._counter), job))
                     pending.remove(job)
                     progressed = True
+                    # sim-clock telemetry: queue waits are the co-scheduling
+                    # quantity the paper's policy discussion turns on
+                    rec.histogram("scheduler_queue_wait_seconds").observe(
+                        job.queue_wait
+                    )
+                    rec.counter("scheduler_jobs_started_total").inc()
+                    rec.event(
+                        "scheduler.job_start",
+                        job=job.name,
+                        n_nodes=job.n_nodes,
+                        sim_start=job.start_time,
+                        sim_end=job.end_time,
+                        queue_wait=job.queue_wait,
+                    )
             if running:
                 end, _, job = heapq.heappop(running)
                 clock = max(clock, end)
@@ -140,9 +156,16 @@ class Scheduler:
                 times = candidates + dep_ends
                 if not times:
                     stuck = [j.name for j in pending]
+                    rec.event("scheduler.deadlock", level="error", jobs=stuck)
                     raise RuntimeError(
                         f"scheduler deadlock: jobs {stuck} can never start "
                         "(unsatisfied dependencies or capacity)"
                     )
                 clock = min(times)
+        rec.event(
+            "scheduler.done",
+            machine=self.machine.name,
+            jobs=len(self.jobs),
+            makespan=makespan,
+        )
         return makespan

@@ -18,10 +18,13 @@ no files touch disk for the Level 2 product.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
+
+from ..obs import get_recorder
 
 __all__ = ["StagedItem", "StagingArea"]
 
@@ -74,22 +77,37 @@ class StagingArea:
 
     def put(self, name: str, blocks: list[dict[str, np.ndarray]]) -> int:
         """Stage an item; returns its size in bytes."""
-        item = StagedItem(name=name, blocks=[{k: np.asarray(v) for k, v in b.items()} for b in blocks])
-        with self._event:
-            if name in self._items:
-                raise KeyError(f"item {name!r} already staged")
-            if (
-                self.capacity_bytes is not None
-                and self.used_bytes_unlocked() + item.nbytes > self.capacity_bytes
-            ):
-                raise MemoryError(
-                    f"staging area full: {self.used_bytes_unlocked()} + "
-                    f"{item.nbytes} > {self.capacity_bytes}"
-                )
-            self._items[name] = item
-            self.bytes_staged_total += item.nbytes
-            self.puts += 1
-            self._event.notify_all()
+        rec = get_recorder()
+        item = StagedItem(
+            name=name,
+            blocks=[{k: np.asarray(v) for k, v in b.items()} for b in blocks],
+        )
+        with rec.span("staging.put", item=name, nbytes=item.nbytes):
+            with self._event:
+                if name in self._items:
+                    raise KeyError(f"item {name!r} already staged")
+                if (
+                    self.capacity_bytes is not None
+                    and self.used_bytes_unlocked() + item.nbytes > self.capacity_bytes
+                ):
+                    rec.event(
+                        "staging.full",
+                        level="error",
+                        item=name,
+                        nbytes=item.nbytes,
+                        used=self.used_bytes_unlocked(),
+                        capacity=self.capacity_bytes,
+                    )
+                    raise MemoryError(
+                        f"staging area full: {self.used_bytes_unlocked()} + "
+                        f"{item.nbytes} > {self.capacity_bytes}"
+                    )
+                self._items[name] = item
+                self.bytes_staged_total += item.nbytes
+                self.puts += 1
+                rec.counter("staging_bytes_staged_total").inc(item.nbytes)
+                rec.gauge("staging_used_bytes").set(self.used_bytes_unlocked())
+                self._event.notify_all()
         return item.nbytes
 
     # -- consumer side ---------------------------------------------------------
@@ -108,22 +126,36 @@ class StagingArea:
 
     def get(self, name: str, drain: bool = True) -> StagedItem:
         """Fetch a staged item; ``drain`` frees the device space."""
+        rec = get_recorder()
         with self._lock:
             if name not in self._items:
                 raise KeyError(f"no staged item {name!r}")
             item = self._items.pop(name) if drain else self._items[name]
             self.gets += 1
+            rec.counter("staging_gets_total").inc()
+            rec.gauge("staging_used_bytes").set(self.used_bytes_unlocked())
             return item
 
     def wait_for(self, name: str, timeout: float = 30.0, drain: bool = True) -> StagedItem:
         """Block until ``name`` is staged (the in-transit consumer path)."""
-        with self._event:
-            ok = self._event.wait_for(lambda: name in self._items, timeout=timeout)
-            if not ok:
-                raise TimeoutError(f"staged item {name!r} did not appear in {timeout}s")
-            item = self._items.pop(name) if drain else self._items[name]
-            self.gets += 1
-            return item
+        rec = get_recorder()
+        t0 = time.perf_counter()
+        with rec.span("staging.wait", item=name):
+            with self._event:
+                ok = self._event.wait_for(lambda: name in self._items, timeout=timeout)
+                if not ok:
+                    rec.event(
+                        "staging.wait_timeout", level="error", item=name, timeout=timeout
+                    )
+                    raise TimeoutError(
+                        f"staged item {name!r} did not appear in {timeout}s"
+                    )
+                item = self._items.pop(name) if drain else self._items[name]
+                self.gets += 1
+                rec.counter("staging_gets_total").inc()
+                rec.gauge("staging_used_bytes").set(self.used_bytes_unlocked())
+        rec.histogram("staging_wait_seconds").observe(time.perf_counter() - t0)
+        return item
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.names())

@@ -1,0 +1,68 @@
+"""repro.obs — the unified telemetry layer.
+
+One subsystem for the three observability signals, correlated on a
+single timeline (run / step / rank):
+
+* **events** — structured log records in a thread-safe bounded ring,
+  with an optional JSONL sink (:mod:`repro.obs.events`);
+* **spans** — nested, thread-aware tracing exportable to Chrome
+  ``chrome://tracing`` JSON (:mod:`repro.obs.spans`);
+* **metrics** — counters, gauges and fixed-bucket histograms with
+  Prometheus-style text exposition (:mod:`repro.obs.metrics`);
+* **reports** — :class:`~repro.obs.report.RunTelemetry`, the per-run
+  phase-breakdown table comparable to the paper's Table 4
+  (:mod:`repro.obs.report`).
+
+Telemetry is **off by default**: :func:`get_recorder` returns a no-op
+recorder whose operations are cached no-ops, so the instrumented hot
+paths (simulation step loop, in-situ dispatch, listener polls, I/O)
+cost one global read when disabled.  Typical use::
+
+    from repro import obs
+
+    with obs.telemetry(jsonl_path="events.jsonl") as rec:
+        result = run_combined_workflow(..., coschedule=True)
+    print(result.telemetry.phase_table())       # Table-4-style report
+    result.telemetry.write_chrome_trace("trace.json")
+"""
+
+from .events import Event, EventLog, JsonlSink, read_jsonl
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import (
+    NullRecorder,
+    TelemetryRecorder,
+    disable,
+    enable,
+    get_recorder,
+    set_recorder,
+    telemetry,
+)
+from .report import PhaseStat, RunTelemetry, phase_of
+from .spans import Span, Tracer, load_chrome_trace, to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullRecorder",
+    "PhaseStat",
+    "RunTelemetry",
+    "Span",
+    "TelemetryRecorder",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_recorder",
+    "load_chrome_trace",
+    "phase_of",
+    "read_jsonl",
+    "set_recorder",
+    "telemetry",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

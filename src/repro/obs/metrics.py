@@ -1,0 +1,279 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The numeric side of the telemetry layer: monotonically-increasing
+counters (bytes written, jobs submitted/failed), point-in-time gauges
+(listener backlog, staging occupancy) and fixed-bucket histograms
+(submit latency, queue waits — the distributions behind the paper's
+per-node analysis-time figures).
+
+Everything is thread-safe and renders to a Prometheus-style text
+exposition (:meth:`MetricsRegistry.render_text`) with no external
+dependencies, so a long-running co-scheduled listener can be scraped
+or dumped with plain ``print``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Any, Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram upper bounds (seconds-oriented, log-ish spacing).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> list[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+
+class Gauge:
+    """Point-in-time value with min/max watermarks."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._max = -math.inf
+        self._min = math.inf
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            self._max = max(self._max, self._value)
+            self._min = min(self._min, self._value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+            self._max = max(self._max, self._value)
+            self._min = min(self._min, self._value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def max(self) -> float:
+        """Highest value ever set (−inf if never set)."""
+        with self._lock:
+            return self._max
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return self._min
+
+    def render(self) -> list[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative, Prometheus semantics).
+
+    ``buckets`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches the tail.  ``observe`` is O(log n_buckets).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.help = help
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        self.bounds: tuple[float, ...] = tuple(bounds)
+        self._counts = [0] * (len(bounds) + 1)  # +Inf tail
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> dict[float, int]:
+        """Cumulative counts per upper bound (``inf`` is the tail)."""
+        with self._lock:
+            out: dict[float, int] = {}
+            running = 0
+            for bound, c in zip(self.bounds, self._counts):
+                running += c
+                out[bound] = running
+            out[math.inf] = running + self._counts[-1]
+            return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the cumulative buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        cum = self.bucket_counts()
+        total = cum[math.inf]
+        if total == 0:
+            return 0.0
+        target = q * total
+        for bound, c in cum.items():
+            if c >= target:
+                return bound
+        return math.inf  # pragma: no cover - unreachable
+
+    def render(self) -> list[str]:
+        cum = self.bucket_counts()
+        lines = []
+        for bound, c in cum.items():
+            le = "+Inf" if math.isinf(bound) else _fmt(bound)
+            lines.append(f'{self.name}_bucket{{le="{le}"}} {c}')
+        lines.append(f"{self.name}_sum {_fmt(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+def _fmt(v: float) -> str:
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name.
+
+    Asking twice for the same name returns the same instance; asking
+    for an existing name with a different kind raises — the registry is
+    the single source of truth for the run's numeric state.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = Histogram(name, help, buckets)
+                self._metrics[name] = m
+            elif not isinstance(m, Histogram):
+                raise TypeError(f"metric {name!r} is a {m.kind}, not a histogram")
+            return m
+
+    def _get_or_create(self, name: str, cls: type, help: str) -> Any:
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = cls(name, help)
+                self._metrics[name] = m
+            elif not isinstance(m, cls):
+                raise TypeError(f"metric {name!r} is a {m.kind}, not a {cls.kind}")
+            return m
+
+    def get(self, name: str) -> Any | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat scalar view (histograms contribute sum/count/mean)."""
+        out: dict[str, float] = {}
+        for name in self.names():
+            m = self.get(name)
+            if isinstance(m, Histogram):
+                out[f"{name}_sum"] = m.sum
+                out[f"{name}_count"] = float(m.count)
+                out[f"{name}_mean"] = m.mean
+            else:
+                out[name] = m.value
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-style text exposition of every metric."""
+        lines: list[str] = []
+        for name in self.names():
+            m = self.get(name)
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} {m.kind}")
+            lines.extend(m.render())
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,270 @@
+"""The telemetry recorder: one object bundling events + spans + metrics.
+
+Instrumented code throughout the repo does::
+
+    from ..obs import get_recorder
+
+    rec = get_recorder()
+    with rec.span("insitu.fof", step=step):
+        ...
+    rec.counter("io_write_bytes_total").inc(nbytes)
+    rec.event("listener.submit_error", level="error", path=path)
+
+By default the process-wide recorder is a :class:`NullRecorder` whose
+every operation is a cached no-op — instrumentation costs one global
+read and one no-op call, so the hot paths do not regress when telemetry
+is off (the paper's "minimally intrusive" requirement for in-situ
+hooks).  :func:`enable` swaps in a live :class:`TelemetryRecorder`;
+:func:`telemetry` scopes one to a ``with`` block.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import uuid
+from typing import Any, Iterator
+
+from .events import DEFAULT_CAPACITY, Event, EventLog, JsonlSink
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import Span, Tracer, write_chrome_trace
+
+__all__ = [
+    "TelemetryRecorder",
+    "NullRecorder",
+    "get_recorder",
+    "set_recorder",
+    "enable",
+    "disable",
+    "telemetry",
+]
+
+
+# -- the no-op fast path -------------------------------------------------------
+
+
+class _NullSpan:
+    """Reusable no-op context manager (also a no-op decorator target)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+class _NullMetric:
+    """Answers every metric method with a no-op / zero."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    max = 0.0
+    min = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_METRIC = _NullMetric()
+
+
+class NullRecorder:
+    """The default recorder: every operation is a cached no-op."""
+
+    enabled = False
+    run_id: str | None = None
+
+    def span(self, name: str, **fields: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, level: str = "info", **fields: Any) -> None:
+        return None
+
+    def counter(self, name: str, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, help: str = "", buckets: Any = None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def close(self) -> None:
+        return None
+
+
+# -- the live recorder ---------------------------------------------------------
+
+
+class TelemetryRecorder:
+    """Live recorder: event ring + tracer + metrics (+ optional JSONL).
+
+    Parameters
+    ----------
+    run_id:
+        Correlation id stamped on every span and event (auto-generated
+        if omitted) — the "run" axis of the timeline.
+    jsonl_path:
+        If given, every event and finished span is appended to this
+        JSONL file as it happens (replayable via
+        :func:`repro.obs.events.read_jsonl`).
+    capacity:
+        In-memory ring bound for both events and finished spans.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        run_id: str | None = None,
+        jsonl_path: str | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        self.run_id = run_id or f"run-{uuid.uuid4().hex[:8]}"
+        self.events = EventLog(capacity=capacity)
+        self.tracer = Tracer(capacity=capacity, run=self.run_id)
+        self.metrics = MetricsRegistry()
+        self.sink: JsonlSink | None = JsonlSink(jsonl_path) if jsonl_path else None
+        if self.sink is not None:
+            self.tracer.on_finish = self._sink_span
+
+    # -- spans ----------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        step: int | None = None,
+        rank: int | None = None,
+        **fields: Any,
+    ):
+        return self.tracer.span(name, step=step, rank=rank, **fields)
+
+    def traced(self, name: str | None = None, **fields: Any):
+        return self.tracer.traced(name, **fields)
+
+    def _sink_span(self, span: Span) -> None:
+        if self.sink is not None:
+            self.sink.write(span.to_dict())
+
+    # -- events ---------------------------------------------------------------
+
+    def event(
+        self,
+        name: str,
+        level: str = "info",
+        step: int | None = None,
+        rank: int | None = None,
+        **fields: Any,
+    ) -> Event:
+        ev = self.events.emit(
+            name, level=level, run=self.run_id, step=step, rank=rank, **fields
+        )
+        if self.sink is not None:
+            self.sink.write(ev.to_dict())
+        return ev
+
+    # -- metrics --------------------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.metrics.counter(name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.metrics.gauge(name, help)
+
+    def histogram(self, name: str, help: str = "", buckets: Any = None) -> Histogram:
+        if buckets is None:
+            return self.metrics.histogram(name, help)
+        return self.metrics.histogram(name, help, buckets)
+
+    # -- export ---------------------------------------------------------------
+
+    def write_chrome_trace(self, path: str) -> str:
+        """Dump every finished span (+ events) as a Chrome trace file."""
+        return write_chrome_trace(
+            path,
+            self.tracer.snapshot(),
+            self.events.snapshot(),
+            process_name=self.run_id,
+        )
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+
+
+# -- the process-wide recorder -------------------------------------------------
+
+_lock = threading.Lock()
+_NULL = NullRecorder()
+_recorder: NullRecorder | TelemetryRecorder = _NULL
+
+
+def get_recorder() -> NullRecorder | TelemetryRecorder:
+    """The process-wide recorder (a no-op unless :func:`enable` ran)."""
+    return _recorder
+
+
+def set_recorder(
+    recorder: NullRecorder | TelemetryRecorder,
+) -> NullRecorder | TelemetryRecorder:
+    """Install ``recorder`` globally; returns the previous one."""
+    global _recorder
+    with _lock:
+        previous = _recorder
+        _recorder = recorder
+    return previous
+
+
+def enable(
+    run_id: str | None = None,
+    jsonl_path: str | None = None,
+    capacity: int = DEFAULT_CAPACITY,
+) -> TelemetryRecorder:
+    """Switch telemetry on: install and return a live recorder."""
+    rec = TelemetryRecorder(run_id=run_id, jsonl_path=jsonl_path, capacity=capacity)
+    set_recorder(rec)
+    return rec
+
+
+def disable() -> NullRecorder | TelemetryRecorder:
+    """Switch telemetry off; returns the recorder that was active."""
+    previous = set_recorder(_NULL)
+    previous.close()
+    return previous
+
+
+@contextlib.contextmanager
+def telemetry(
+    run_id: str | None = None,
+    jsonl_path: str | None = None,
+    capacity: int = DEFAULT_CAPACITY,
+) -> Iterator[TelemetryRecorder]:
+    """Scope a live recorder to a ``with`` block::
+
+        with obs.telemetry() as rec:
+            run_combined_workflow(...)
+        rec.write_chrome_trace("trace.json")
+    """
+    previous = get_recorder()
+    rec = TelemetryRecorder(run_id=run_id, jsonl_path=jsonl_path, capacity=capacity)
+    set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)
+        rec.close()

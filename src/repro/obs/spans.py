@@ -1,0 +1,321 @@
+"""Span-based tracing with Chrome ``chrome://tracing`` export.
+
+A *span* is a named interval of wall-clock time with nesting (a
+``sim.step`` span contains the ``insitu.halo_finder`` span which
+contains ``io.write`` spans, ...).  The :class:`Tracer` keeps a
+per-thread span stack so concurrently-running components — the
+simulation loop and a co-scheduled listener thread — each build their
+own correct nesting while landing in one shared, lock-protected record
+of finished spans.
+
+Export targets the Chrome trace-event format (``chrome://tracing`` /
+Perfetto): one ``"ph": "X"`` complete event per span, ``tid`` = the
+producing thread, so the combined-workflow timeline renders exactly
+like the paper's Figure 3 schedule diagrams — simulation steps on one
+track, listener-launched analysis jobs on another.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+]
+
+#: Default bound on retained finished spans.
+DEFAULT_CAPACITY = 65_536
+
+_span_ids = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One named, possibly-nested interval.
+
+    ``t0``/``t1`` are monotonic (:func:`time.perf_counter`) seconds;
+    ``wall0`` anchors the span to the epoch clock.  Correlation fields
+    mirror :class:`repro.obs.events.Event`.
+    """
+
+    name: str
+    t0: float = 0.0
+    t1: float | None = None
+    wall0: float = 0.0
+    run: str | None = None
+    step: int | None = None
+    rank: int | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+    span_id: int = 0
+    parent_id: int | None = None
+    depth: int = 0
+    thread: str = ""
+    error: str | None = None
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0 while still open)."""
+        if self.t1 is None:
+            return 0.0
+        return self.t1 - self.t0
+
+    @property
+    def open(self) -> bool:
+        return self.t1 is None
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "kind": "span",
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "wall0": self.wall0,
+            "span_id": self.span_id,
+            "depth": self.depth,
+            "thread": self.thread,
+        }
+        if self.parent_id is not None:
+            d["parent_id"] = self.parent_id
+        if self.run is not None:
+            d["run"] = self.run
+        if self.step is not None:
+            d["step"] = self.step
+        if self.rank is not None:
+            d["rank"] = self.rank
+        if self.fields:
+            d["fields"] = self.fields
+        if self.error is not None:
+            d["error"] = self.error
+        return d
+
+
+class _SpanHandle:
+    """Context manager binding one :class:`Span` to its tracer."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self.tracer._push(self.span)
+        self.span.t0 = time.perf_counter()
+        self.span.wall0 = time.time()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.span.t1 = time.perf_counter()
+        if exc is not None:
+            self.span.error = f"{exc_type.__name__}: {exc}"
+        self.tracer._pop(self.span)
+
+
+class Tracer:
+    """Thread-safe span factory with per-thread nesting stacks."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, run: str | None = None):
+        self.run = run
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self.started_total = 0
+        self.finished_total = 0
+        #: optional callback invoked with each finished span (JSONL sink hook)
+        self.on_finish: Callable[[Span], None] | None = None
+
+    # -- public API -----------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        step: int | None = None,
+        rank: int | None = None,
+        **fields: Any,
+    ) -> _SpanHandle:
+        """Open a span as a context manager::
+
+            with tracer.span("fof", step=12):
+                ...
+        """
+        s = Span(
+            name=name,
+            run=self.run,
+            step=step,
+            rank=rank,
+            fields=fields,
+            span_id=next(_span_ids),
+            thread=threading.current_thread().name,
+        )
+        return _SpanHandle(self, s)
+
+    def traced(self, name: str | None = None, **fields: Any):
+        """Decorator form: trace every call of the wrapped function."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(span_name, **fields):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def snapshot(self) -> list[Span]:
+        """Finished spans, ordered by completion time."""
+        with self._lock:
+            return list(self._finished)
+
+    def current(self) -> Span | None:
+        """The innermost open span on *this* thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    # -- stack plumbing -------------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        stack: list[Span] = getattr(self._local, "stack", None) or []
+        if stack:
+            span.parent_id = stack[-1].span_id
+            span.depth = stack[-1].depth + 1
+        stack.append(span)
+        self._local.stack = stack
+        with self._lock:
+            self.started_total += 1
+
+    def _pop(self, span: Span) -> None:
+        stack: list[Span] = getattr(self._local, "stack", None) or []
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # mismatched exit (generator abandoned mid-span): resync
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            self._finished.append(span)
+            self.finished_total += 1
+        if self.on_finish is not None:
+            self.on_finish(span)
+
+
+# -- Chrome trace-event export ------------------------------------------------
+
+
+def to_chrome_trace(
+    spans: Iterable[Span],
+    events: Iterable[Any] = (),
+    process_name: str = "repro",
+) -> dict[str, Any]:
+    """Render spans (+ optional instant events) as a Chrome trace object.
+
+    The result is loadable by ``chrome://tracing`` and Perfetto: spans
+    become ``"ph": "X"`` complete events (timestamps in microseconds),
+    instant events become ``"ph": "i"``.  Thread names become ``tid``
+    labels so the sim loop and listener render as separate tracks.
+    """
+    trace_events: list[dict[str, Any]] = []
+    tids: dict[str, int] = {}
+
+    def tid_of(thread: str) -> int:
+        if thread not in tids:
+            tids[thread] = len(tids) + 1
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tids[thread],
+                    "args": {"name": thread},
+                }
+            )
+        return tids[thread]
+
+    trace_events.append(
+        {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": process_name}}
+    )
+    for s in spans:
+        if s.t1 is None:
+            continue
+        args: dict[str, Any] = dict(s.fields)
+        if s.step is not None:
+            args["step"] = s.step
+        if s.rank is not None:
+            args["rank"] = s.rank
+        if s.error is not None:
+            args["error"] = s.error
+        trace_events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": s.t0 * 1e6,
+                "dur": (s.t1 - s.t0) * 1e6,
+                "pid": 1,
+                "tid": tid_of(s.thread or "main"),
+                "args": args,
+            }
+        )
+    for e in events:
+        trace_events.append(
+            {
+                "name": e.name,
+                "cat": "event",
+                "ph": "i",
+                "s": "g",
+                "ts": e.t * 1e6,
+                "pid": 1,
+                "tid": 0,
+                "args": dict(e.fields, level=e.level),
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Iterable[Span],
+    events: Iterable[Any] = (),
+    process_name: str = "repro",
+) -> str:
+    """Write a Chrome trace JSON file; returns the path."""
+    trace = to_chrome_trace(spans, events, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, default=_chrome_default)
+    return path
+
+
+def _chrome_default(obj: Any) -> Any:
+    if hasattr(obj, "item"):
+        try:
+            return obj.item()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    return repr(obj)
+
+
+def load_chrome_trace(path: str) -> list[dict[str, Any]]:
+    """Load a Chrome trace file back into its ``traceEvents`` list."""
+    with open(path, "r", encoding="utf-8") as fh:
+        trace = json.load(fh)
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError(f"{path}: not a Chrome trace object")
+    return trace["traceEvents"]

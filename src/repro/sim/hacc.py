@@ -25,10 +25,11 @@ paper-scale timings.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import get_recorder
 from .cosmology import Cosmology, QCONTINUUM_COSMOLOGY, a_of_z, z_of_a
 from .initial_conditions import ICConfig, make_initial_conditions
 from .particles import Particles
@@ -151,48 +152,58 @@ class HACCSimulation:
 
     def run(self) -> list[StepRecord]:
         """Evolve to ``z_final``, invoking the analysis hook per step."""
-        if self.call_at_start and self.analysis_manager is not None:
-            self._invoke_analysis()
-        while self.step < self.config.n_steps:
-            self.advance_step()
+        rec = get_recorder()
+        with rec.span("sim.run", n_steps=self.config.n_steps):
+            if self.call_at_start and self.analysis_manager is not None:
+                self._invoke_analysis()
+            while self.step < self.config.n_steps:
+                self.advance_step()
+        rec.event("sim.done", step=self.step, z=self.z)
         return self.records
 
     def advance_step(self) -> StepRecord:
         """One kick-drift-kick step in the scale factor."""
         cfg = self.config
+        rec = get_recorder()
         da = (self.a_final - float(a_of_z(cfg.z_initial))) / cfg.n_steps
         a0 = self.a
         a1 = a0 + da
         a_half = 0.5 * (a0 + a1)
 
-        t0 = time.perf_counter()
-        if self._accel_cache is None:
-            self._accel_cache = self._compute_accelerations(a0)
+        with rec.span("sim.step", step=self.step + 1):
+            t0 = time.perf_counter()
+            with rec.span("sim.force", step=self.step + 1):
+                if self._accel_cache is None:
+                    self._accel_cache = self._compute_accelerations(a0)
 
-        # kick (half) at a0
-        p = self.particles.vel
-        p += self._accel_cache * (self.cosmo.f_drift(a0) * 0.5 * da)
+                # kick (half) at a0
+                p = self.particles.vel
+                p += self._accel_cache * (self.cosmo.f_drift(a0) * 0.5 * da)
 
-        # drift (full) with midpoint factor
-        drift = float(self.cosmo.f_drift(a_half) / a_half**2) * da
-        self.particles.pos += p * drift
-        self.particles.wrap()
+                # drift (full) with midpoint factor
+                drift = float(self.cosmo.f_drift(a_half) / a_half**2) * da
+                self.particles.pos += p * drift
+                self.particles.wrap()
 
-        # new force at a1, kick (half)
-        accel = self._compute_accelerations(a1)
-        p += accel * (self.cosmo.f_drift(a1) * 0.5 * da)
-        self._accel_cache = accel
-        force_seconds = time.perf_counter() - t0
+                # new force at a1, kick (half)
+                accel = self._compute_accelerations(a1)
+                p += accel * (self.cosmo.f_drift(a1) * 0.5 * da)
+                self._accel_cache = accel
+            force_seconds = time.perf_counter() - t0
 
-        self.a = a1
-        self.step += 1
-        record = StepRecord(step=self.step, a=self.a, z=self.z, force_seconds=force_seconds)
-        self.records.append(record)
+            self.a = a1
+            self.step += 1
+            record = StepRecord(
+                step=self.step, a=self.a, z=self.z, force_seconds=force_seconds
+            )
+            self.records.append(record)
+            rec.counter("sim_steps_total").inc()
+            rec.histogram("sim_force_seconds").observe(force_seconds)
 
-        if self.analysis_manager is not None:
-            t1 = time.perf_counter()
-            self._invoke_analysis()
-            record.analysis_seconds = time.perf_counter() - t1
+            if self.analysis_manager is not None:
+                t1 = time.perf_counter()
+                self._invoke_analysis()
+                record.analysis_seconds = time.perf_counter() - t1
         return record
 
     def _invoke_analysis(self) -> None:

@@ -5,7 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.sim import HACCSimulation, SimulationConfig
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    """Keep the process-wide recorder a no-op unless a test enables it."""
+    yield
+    obs.set_recorder(obs.NullRecorder())
 
 
 @pytest.fixture(scope="session")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import MassFunction, mass_function, scale_counts, split_by_threshold
+from repro.analysis import mass_function, scale_counts, split_by_threshold
 
 
 def test_mass_function_totals(rng):

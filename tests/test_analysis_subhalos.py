@@ -1,7 +1,6 @@
 """Subhalo finder: candidate growth, unbinding, load scaling."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import find_subhalos, unbind_particles
 

@@ -1,6 +1,5 @@
 """Disjoint-set forest invariants (+ hypothesis model check)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

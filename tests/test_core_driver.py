@@ -106,3 +106,29 @@ def test_offline_center_job_empty_file(tmp_path):
     )
     cat = offline_center_job(path)
     assert len(cat) == 0
+
+
+def test_centers_from_level2_counts_match_membership():
+    """The vectorized per-halo particle counts (one np.unique pass, not a
+    per-tag scan) must equal exact membership sizes, in result order."""
+    from repro.core.driver import centers_from_level2_arrays
+
+    rng = np.random.default_rng(99)
+    sizes = {11: 60, 5: 45, 42: 80, 7: 52}
+    pos_parts, tag_parts, halo_parts = [], [], []
+    next_tag = 0
+    for halo, n in sizes.items():
+        center = rng.uniform(2, 18, 3)
+        pos_parts.append(rng.normal(center, 0.2, (n, 3)))
+        tag_parts.append(np.arange(next_tag, next_tag + n, dtype=np.int64))
+        halo_parts.append(np.full(n, halo, dtype=np.int64))
+        next_tag += n
+    data = {
+        "pos": np.concatenate(pos_parts),
+        "tag": np.concatenate(tag_parts),
+        "halo_tag": np.concatenate(halo_parts),
+    }
+    cat = centers_from_level2_arrays(data)
+    assert len(cat) == len(sizes)
+    got = {int(r["halo_tag"]): int(r["count"]) for r in cat.records}
+    assert got == sizes

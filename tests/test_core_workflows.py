@@ -5,9 +5,7 @@ import pytest
 
 from repro.core import (
     CombinedWorkflow,
-    InSituOnlyWorkflow,
     JobLedger,
-    OfflineOnlyWorkflow,
     WorkloadProfile,
     evaluate_all,
     lpt_assign,

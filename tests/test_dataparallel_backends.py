@@ -5,7 +5,6 @@ import pytest
 
 from repro.dataparallel import (
     SerialBackend,
-    VectorBackend,
     available_backends,
     get_backend,
     set_default_backend,

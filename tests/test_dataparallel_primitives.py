@@ -12,7 +12,6 @@ from repro.dataparallel import (
     exclusive_scan,
     gather,
     inclusive_scan,
-    map_,
     minloc,
     partition,
     reduce_,

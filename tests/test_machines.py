@@ -318,3 +318,79 @@ def test_storage_aggregate_cap():
 def test_storage_invalid_nodes():
     with pytest.raises(ValueError):
         lustre_like().write_seconds(10, 0)
+
+
+# --- listener resilience + bounded stats ------------------------------------------
+
+
+def test_listener_survives_failing_submit(tmp_path):
+    """One bad job must not kill the poll loop (or lose later files)."""
+    ok = []
+
+    def submit(path, step, script):
+        if step == 1:
+            raise RuntimeError("qsub rejected the job")
+        ok.append(step)
+
+    listener = Listener(tmp_path, "l2_step*.gio", submit)
+    for s in (0, 1, 2):
+        (tmp_path / f"l2_step{s:04d}.gio").write_bytes(b"x")
+    fresh = listener.poll_once()
+    assert len(fresh) == 3  # the poll completed despite the failure
+    assert ok == [0, 2]
+    assert listener.stats.jobs_submitted == 2
+    assert listener.stats.jobs_failed == 1
+    assert listener.stats.files_seen == 3
+
+
+def test_listener_failed_submit_records_error_event(tmp_path):
+    from repro import obs
+
+    def submit(path, step, script):
+        raise ValueError("bad template")
+
+    with obs.telemetry(run_id="fail-test") as rec:
+        listener = Listener(tmp_path, "l2_step*.gio", submit)
+        (tmp_path / "l2_step0005.gio").write_bytes(b"x")
+        listener.poll_once()
+    errors = rec.events.by_level("error")
+    assert len(errors) == 1
+    assert errors[0].name == "listener.submit_error"
+    assert errors[0].step == 5
+    assert "bad template" in errors[0].fields["error"]
+    assert rec.metrics.counter("listener_jobs_failed_total").value == 1
+    assert listener.stats.jobs_failed == 1
+
+
+def test_listener_final_poll_flags_failures_without_raising(tmp_path):
+    """stop(final_poll=True) must not blow up on a failing late submit."""
+
+    def submit(path, step, script):
+        raise RuntimeError("late failure")
+
+    listener = Listener(tmp_path, "l2_step*.gio", submit, poll_interval=0.01)
+    listener.start()
+    listener.stop(final_poll=False)
+    (tmp_path / "l2_step0099.gio").write_bytes(b"x")
+    listener.stop(final_poll=True)  # no raise
+    assert listener.stats.jobs_failed == 1
+    assert listener.stats.jobs_submitted == 0
+
+
+def test_listener_backlog_history_is_bounded(tmp_path):
+    from repro.machines.listener import BACKLOG_HISTORY_LIMIT
+
+    listener = Listener(tmp_path, "l2_step*.gio", lambda *a: None)
+    n_polls = BACKLOG_HISTORY_LIMIT + 500
+    for _ in range(n_polls):
+        listener.poll_once()
+    assert listener.stats.polls == n_polls
+    assert len(listener.stats.backlog_history) == BACKLOG_HISTORY_LIMIT
+    assert listener.stats.backlog_total == 0
+    # aggregates stay exact even after samples age out of the window
+    (tmp_path / "l2_step0000.gio").write_bytes(b"x")
+    (tmp_path / "l2_step0001.gio").write_bytes(b"x")
+    listener.poll_once()
+    assert listener.stats.max_backlog == 2
+    assert listener.stats.backlog_total == 2
+    assert listener.stats.mean_backlog == pytest.approx(2 / (n_polls + 1))

@@ -1,0 +1,167 @@
+"""repro.obs.spans: nesting, thread-safety, Chrome-trace round-trip."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Tracer, load_chrome_trace, to_chrome_trace, write_chrome_trace
+
+
+def test_span_records_duration_and_fields():
+    tr = Tracer(run="r1")
+    with tr.span("fof", step=12, rank=3, halos=7) as s:
+        pass
+    done = tr.snapshot()
+    assert len(done) == 1
+    assert done[0] is s
+    assert s.name == "fof" and s.run == "r1" and s.step == 12 and s.rank == 3
+    assert s.fields == {"halos": 7}
+    assert s.t1 is not None and s.duration >= 0.0
+
+
+def test_nesting_parent_links_and_depth():
+    tr = Tracer()
+    with tr.span("outer") as outer:
+        with tr.span("mid") as mid:
+            with tr.span("inner") as inner:
+                assert tr.current() is inner
+        assert tr.current() is outer
+    assert outer.parent_id is None and outer.depth == 0
+    assert mid.parent_id == outer.span_id and mid.depth == 1
+    assert inner.parent_id == mid.span_id and inner.depth == 2
+    # children finish (and are recorded) before their parents
+    assert [s.name for s in tr.snapshot()] == ["inner", "mid", "outer"]
+
+
+def test_sibling_spans_share_parent():
+    tr = Tracer()
+    with tr.span("step") as parent:
+        with tr.span("a") as a:
+            pass
+        with tr.span("b") as b:
+            pass
+    assert a.parent_id == parent.span_id
+    assert b.parent_id == parent.span_id
+    assert a.depth == b.depth == 1
+
+
+def test_exception_is_recorded_and_stack_unwinds():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        with tr.span("risky"):
+            raise ValueError("boom")
+    (s,) = tr.snapshot()
+    assert s.error == "ValueError: boom"
+    assert tr.current() is None
+
+
+def test_decorator_traces_each_call():
+    tr = Tracer()
+
+    @tr.traced("work", kind="unit")
+    def work(x):
+        return x * 2
+
+    assert [work(i) for i in range(3)] == [0, 2, 4]
+    spans = tr.snapshot()
+    assert len(spans) == 3
+    assert all(s.name == "work" and s.fields == {"kind": "unit"} for s in spans)
+
+
+def test_threads_get_independent_stacks():
+    tr = Tracer()
+    errors: list[str] = []
+    barrier = threading.Barrier(4)
+
+    def worker(tid: int) -> None:
+        barrier.wait()
+        for i in range(200):
+            with tr.span(f"outer-{tid}") as outer:
+                with tr.span(f"inner-{tid}") as inner:
+                    if inner.parent_id != outer.span_id:
+                        errors.append(f"{tid}: cross-thread parent")
+                    if inner.thread != outer.thread:
+                        errors.append(f"{tid}: thread mismatch")
+
+    ts = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    assert errors == []
+    spans = tr.snapshot()
+    assert len(spans) == 4 * 200 * 2
+    # every inner's parent is an outer from the same thread
+    by_id = {s.span_id: s for s in spans}
+    for s in spans:
+        if s.name.startswith("inner"):
+            parent = by_id[s.parent_id]
+            assert parent.thread == s.thread
+
+
+def test_finished_ring_is_bounded():
+    tr = Tracer(capacity=10)
+    for _ in range(50):
+        with tr.span("s"):
+            pass
+    assert len(tr) == 10
+    assert tr.finished_total == 50
+
+
+def test_chrome_trace_round_trip(tmp_path):
+    tr = Tracer(run="trace-test")
+    with tr.span("sim.step", step=1):
+        with tr.span("insitu.fof", step=1, halos=3):
+            pass
+    path = str(tmp_path / "trace.json")
+    write_chrome_trace(path, tr.snapshot())
+
+    # must parse as plain JSON (chrome://tracing contract)
+    with open(path) as fh:
+        raw = json.load(fh)
+    assert "traceEvents" in raw
+
+    events = load_chrome_trace(path)
+    complete = [e for e in events if e.get("ph") == "X"]
+    by_name = {e["name"]: e for e in complete}
+    assert set(by_name) == {"sim.step", "insitu.fof"}
+    for e in complete:
+        assert e["ts"] >= 0 and e["dur"] >= 0 and e["pid"] == 1
+    # the nested span lies within its parent on the trace timeline
+    outer, inner = by_name["sim.step"], by_name["insitu.fof"]
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+    # args carry the correlation fields
+    assert inner["args"]["halos"] == 3 and inner["args"]["step"] == 1
+
+
+def test_chrome_trace_separates_threads():
+    tr = Tracer()
+
+    def worker():
+        with tr.span("listener.poll"):
+            pass
+
+    t = threading.Thread(target=worker, name="listener")
+    t.start()
+    t.join()
+    with tr.span("sim.step"):
+        pass
+    trace = to_chrome_trace(tr.snapshot())
+    xs = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+    tids = {e["name"]: e["tid"] for e in xs}
+    assert tids["listener.poll"] != tids["sim.step"]
+    # thread-name metadata present for both tracks
+    meta = [e for e in trace["traceEvents"] if e.get("ph") == "M"]
+    names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert "listener" in names
+
+
+def test_load_chrome_trace_rejects_non_trace(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError):
+        load_chrome_trace(str(p))

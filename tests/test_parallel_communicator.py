@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.parallel import Communicator, SpmdError, World, run_spmd
+from repro.parallel import SpmdError, World, run_spmd
 
 
 def test_single_rank_runs_inline():
