@@ -13,10 +13,12 @@ from .centers import (
     approximate_center_densest_cell,
     approximate_center_of_mass,
     center_finding_cost,
+    group_halo_members,
     halo_centers,
     mbp_center_astar,
     mbp_center_bruteforce,
     potential_bruteforce,
+    potential_reference,
 )
 from .fof import (
     DEFAULT_MIN_COUNT,
@@ -41,10 +43,12 @@ __all__ = [
     "approximate_center_densest_cell",
     "approximate_center_of_mass",
     "center_finding_cost",
+    "group_halo_members",
     "halo_centers",
     "mbp_center_astar",
     "mbp_center_bruteforce",
     "potential_bruteforce",
+    "potential_reference",
     "DEFAULT_MIN_COUNT",
     "FOFResult",
     "fof_grid",

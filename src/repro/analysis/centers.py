@@ -29,7 +29,10 @@ Implementations:
 
 ``halo_centers``
     Batch driver over a FOF catalog, with per-halo pair-interaction
-    counters used for the cost model and Figure 4.
+    counters used for the cost model and Figure 4.  With ``workers > 1``
+    the batch is dispatched to the :mod:`repro.exec` work-stealing
+    multi-process engine (bit-identical results, cost-model-guided
+    scheduling).
 """
 
 from __future__ import annotations
@@ -43,11 +46,13 @@ from ..dataparallel import get_backend
 __all__ = [
     "DEFAULT_SOFTENING",
     "CenterStats",
+    "potential_reference",
     "potential_bruteforce",
     "mbp_center_bruteforce",
     "mbp_center_astar",
     "approximate_center_of_mass",
     "approximate_center_densest_cell",
+    "group_halo_members",
     "halo_centers",
     "center_finding_cost",
 ]
@@ -70,6 +75,65 @@ class CenterStats:
         self.exact_potentials += other.exact_potentials
 
 
+def potential_reference(
+    pos: np.ndarray,
+    mass: float = 1.0,
+    softening: float = DEFAULT_SOFTENING,
+) -> np.ndarray:
+    """Tiny-n pure-Python all-pairs potential (cross-validation only).
+
+    The explicit per-element double loop that used to back the
+    ``serial`` backend path of :func:`potential_bruteforce`.  It is kept
+    solely so tests (and the backend-ratio benchmark, the paper's ~50x
+    GPU-speedup analogue) can cross-validate the blocked vectorized
+    kernel against an independent formulation — never use it on more
+    than a few hundred particles.
+    """
+    pos = np.atleast_2d(np.asarray(pos, dtype=float))
+    n = len(pos)
+    phi = np.zeros(n)
+    for i in range(n):
+        acc = 0.0
+        pi = pos[i]
+        for j in range(n):
+            if i == j:
+                continue
+            d = np.sqrt(
+                (pi[0] - pos[j, 0]) ** 2
+                + (pi[1] - pos[j, 1]) ** 2
+                + (pi[2] - pos[j, 2]) ** 2
+            )
+            acc -= mass / (d + softening)
+        phi[i] = acc
+    return phi
+
+
+def _phi_rows(
+    pos: np.ndarray,
+    start: int,
+    end: int,
+    mass: float,
+    softening: float,
+) -> np.ndarray:
+    """Potentials of rows ``start:end`` against *all* particles.
+
+    The one blocked kernel shared by every execution path — the serial
+    batch driver, the vector backend, and the :mod:`repro.exec` slab
+    subtasks that split a giant halo across workers — so each row's
+    potential is a single vectorized sum in a fixed order and results
+    stay bit-identical no matter how the rows were scheduled.
+    """
+    d = np.sqrt(
+        np.maximum(np.sum((pos[start:end, None, :] - pos[None, :, :]) ** 2, axis=-1), 0.0)
+    )
+    with np.errstate(divide="ignore"):
+        contrib = -mass / (d + softening)
+    # remove self terms (also discards the d=0 divide when softening=0)
+    rows = np.arange(start, end)
+    contrib[rows - start, rows] = 0.0
+    return contrib.sum(axis=1)
+
+
 def potential_bruteforce(
     pos: np.ndarray,
     mass: float = 1.0,
@@ -79,47 +143,22 @@ def potential_bruteforce(
 ) -> np.ndarray:
     """All-pairs potential ``Φ_i = Σ_{j≠i} -m/(d_ij + ε)`` for every particle.
 
-    On the ``vector`` backend the pair sums are evaluated in distance
-    blocks (memory-bounded); on the ``serial`` backend with explicit
-    loops (the CPU-reference path, markedly slower — by design).
+    The pair sums are evaluated in row blocks (memory-bounded) through
+    the same vectorized kernel on every backend; ``serial`` and
+    ``vector`` are numerically identical (the historical per-element
+    Python double loop survives as :func:`potential_reference` for
+    cross-validation only).
     """
     pos = np.atleast_2d(np.asarray(pos, dtype=float))
     n = len(pos)
-    be = get_backend(backend)
+    get_backend(backend)  # validate the backend name
     if n < 2:
         return np.zeros(n)
-
-    if be.name == "serial":
-        phi = np.zeros(n)
-        for i in range(n):
-            acc = 0.0
-            pi = pos[i]
-            for j in range(n):
-                if i == j:
-                    continue
-                d = np.sqrt(
-                    (pi[0] - pos[j, 0]) ** 2
-                    + (pi[1] - pos[j, 1]) ** 2
-                    + (pi[2] - pos[j, 2]) ** 2
-                )
-                acc -= mass / (d + softening)
-            phi[i] = acc
-        return phi
 
     phi = np.zeros(n)
     for s in range(0, n, block):
         e = min(s + block, n)
-        d = np.sqrt(
-            np.maximum(
-                np.sum((pos[s:e, None, :] - pos[None, :, :]) ** 2, axis=-1), 0.0
-            )
-        )
-        with np.errstate(divide="ignore"):
-            contrib = -mass / (d + softening)
-        # remove self terms (also discards the d=0 divide when softening=0)
-        rows = np.arange(s, e)
-        contrib[rows - s, rows] = 0.0
-        phi[s:e] = contrib.sum(axis=1)
+        phi[s:e] = _phi_rows(pos, s, e, mass, softening)
     return phi
 
 
@@ -323,6 +362,44 @@ class HaloCentersResult:
     potentials: np.ndarray
     stats: CenterStats = field(default_factory=CenterStats)
     per_halo_pairs: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    #: :class:`repro.exec.engine.ExecReport` when the batch ran on the
+    #: multi-process engine (``None`` on the serial path).
+    exec_report: object | None = None
+
+
+def group_halo_members(
+    labels: np.ndarray, select_tags: np.ndarray | None = None
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Group particle indices by halo label with **one** argsort.
+
+    Replaces the former hidden O(halos x particles) pattern of scanning
+    the full label array once per halo (``np.flatnonzero(labels == t)``
+    in a loop) with a single O(P log P) stable sort plus boundary
+    slicing.  Member indices within each halo are ascending — exactly
+    the order the per-halo scan produced — so downstream results are
+    bit-identical.
+
+    Returns ``(halo_tags, members)`` with ``halo_tags`` ascending and
+    ``members[i]`` the particle indices of ``halo_tags[i]``.  Label -1
+    (fluff) is dropped; ``select_tags`` restricts the output.
+    """
+    labels = np.asarray(labels)
+    order = np.argsort(labels, kind="stable")
+    sl = labels[order]
+    first = int(np.searchsorted(sl, 0, side="left"))  # skip the -1 fluff
+    order = order[first:]
+    sl = sl[first:]
+    if len(sl) == 0:
+        return np.empty(0, dtype=labels.dtype), []
+    starts = np.flatnonzero(np.concatenate([[True], sl[1:] != sl[:-1]]))
+    bounds = np.append(starts, len(sl))
+    halo_tags = sl[starts]
+    members = [order[s:e] for s, e in zip(bounds[:-1], bounds[1:])]
+    if select_tags is not None:
+        keep = np.isin(halo_tags, select_tags)
+        halo_tags = halo_tags[keep]
+        members = [m for m, k in zip(members, keep) if k]
+    return halo_tags, members
 
 
 def halo_centers(
@@ -334,6 +411,7 @@ def halo_centers(
     method: str = "bruteforce",
     backend: str | None = None,
     select_tags: np.ndarray | None = None,
+    workers: int | None = None,
 ) -> HaloCentersResult:
     """Find the MBP center of every halo in a labeled particle set.
 
@@ -347,13 +425,42 @@ def halo_centers(
     select_tags:
         Restrict to these halo tags (the workflow's in-situ/off-line
         split passes the below- or above-threshold subset).
+    workers:
+        With ``workers > 1`` the batch runs on the :mod:`repro.exec`
+        work-stealing multi-process engine (zero-copy shared-memory
+        particle views, LPT scheduling by the ``n(n-1)`` cost model,
+        giant halos split into row slabs).  Results are bit-identical
+        to the serial path.  ``None`` (default) runs serially, unless
+        ``backend`` names the ``process`` backend, whose configured
+        worker count is then used.
     """
+    if method not in ("bruteforce", "astar"):
+        raise ValueError(f"unknown method {method!r}")
     pos = np.atleast_2d(np.asarray(pos, dtype=float))
     tags = np.asarray(tags)
     labels = np.asarray(labels)
-    halo_tags = np.unique(labels[labels >= 0])
-    if select_tags is not None:
-        halo_tags = halo_tags[np.isin(halo_tags, select_tags)]
+
+    if workers is None:
+        be = get_backend(backend)
+        if be.name == "process":
+            workers = int(getattr(be, "workers", 1))
+            backend = getattr(be, "kernel_backend", "vector")
+    if workers is not None and workers > 1:
+        from ..exec import parallel_halo_centers
+
+        return parallel_halo_centers(
+            pos,
+            tags,
+            labels,
+            mass=mass,
+            softening=softening,
+            method=method,
+            backend=backend,
+            select_tags=select_tags,
+            workers=workers,
+        )
+
+    halo_tags, groups = group_halo_members(labels, select_tags=select_tags)
 
     centers = np.empty((len(halo_tags), 3))
     mbp_tags = np.empty(len(halo_tags), dtype=tags.dtype)
@@ -361,17 +468,14 @@ def halo_centers(
     per_halo_pairs = np.empty(len(halo_tags), dtype=np.int64)
     total = CenterStats()
 
-    for h, halo_tag in enumerate(halo_tags):
-        members = np.flatnonzero(labels == halo_tag)
+    for h, members in enumerate(groups):
         hpos = pos[members]
         if method == "astar":
             idx, phi, stats = mbp_center_astar(hpos, mass=mass, softening=softening)
-        elif method == "bruteforce":
+        else:
             idx, phi, stats = mbp_center_bruteforce(
                 hpos, mass=mass, softening=softening, backend=backend
             )
-        else:
-            raise ValueError(f"unknown method {method!r}")
         centers[h] = hpos[idx]
         mbp_tags[h] = tags[members[idx]]
         potentials[h] = phi

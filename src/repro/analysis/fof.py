@@ -211,6 +211,39 @@ _FORWARD_OFFSETS = [
 ]
 
 
+def _cross_block_pairs(
+    order: np.ndarray,
+    sa: np.ndarray,
+    sb: np.ndarray,
+    ca: np.ndarray,
+    cb: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All cross pairs between variable-size index blocks — no Python loop.
+
+    Block ``k`` contributes every ``(a, b)`` with ``a`` drawn from
+    ``order[sa[k] : sa[k] + ca[k]]`` and ``b`` from
+    ``order[sb[k] : sb[k] + cb[k]]``.  The flat pair index within each
+    block is decomposed as ``a_local * cb + b_local`` (row-major), which
+    reproduces the historical ``np.repeat``/``np.tile`` emission order
+    exactly.  Returns ``(ai, bi, a_local, b_local)``; the local
+    coordinates let the within-cell caller keep only the upper triangle
+    (``a_local < b_local``).
+    """
+    blk = (ca * cb).astype(np.intp)
+    total = int(blk.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty, empty, empty
+    off = np.concatenate([[0], np.cumsum(blk)[:-1]])
+    r = np.arange(total, dtype=np.intp) - np.repeat(off, blk)
+    cb_rep = np.repeat(cb.astype(np.intp), blk)
+    a_local = r // cb_rep
+    b_local = r - a_local * cb_rep
+    ai = order[np.repeat(sa.astype(np.intp), blk) + a_local]
+    bi = order[np.repeat(sb.astype(np.intp), blk) + b_local]
+    return ai, bi, a_local, b_local
+
+
 def fof_grid(
     pos: np.ndarray,
     linking_length: float,
@@ -281,12 +314,16 @@ def fof_grid(
             edges_i.append(ai[keep])
             edges_j.append(bi[keep])
 
-    # within-cell pairs
+    # within-cell pairs: full per-cell cross products in one shot, upper
+    # triangle kept (a_local < b_local == np.triu_indices(c, k=1) order)
     multi = counts > 1
-    for s, c in zip(starts[multi], counts[multi]):
-        idx = order[s : s + c]
-        ii, jj = np.triu_indices(c, k=1)
-        emit_pairs(idx[ii], idx[jj])
+    if multi.any():
+        ai, bi, a_loc, b_loc = _cross_block_pairs(
+            order, starts[multi], starts[multi], counts[multi], counts[multi]
+        )
+        upper = a_loc < b_loc
+        if upper.any():
+            emit_pairs(ai[upper], bi[upper])
 
     # forward neighbor cells
     for off in _FORWARD_OFFSETS:
@@ -307,23 +344,16 @@ def fof_grid(
         if not src_cells.size:
             continue
         dst_cells = pos_in_occ[match]
-        # build all cross pairs, blocked over (src cell, dst cell)
-        ca = counts[src_cells]
-        cb = counts[dst_cells]
-        total = int(np.sum(ca * cb))
-        if total == 0:
-            continue
-        ai = np.empty(total, dtype=np.intp)
-        bi = np.empty(total, dtype=np.intp)
-        w = 0
-        for sc, dc, na_, nb_ in zip(starts[src_cells], starts[dst_cells], ca, cb):
-            blk = na_ * nb_
-            a_idx = order[sc : sc + na_]
-            b_idx = order[dc : dc + nb_]
-            ai[w : w + blk] = np.repeat(a_idx, nb_)
-            bi[w : w + blk] = np.tile(b_idx, na_)
-            w += blk
-        emit_pairs(ai, bi)
+        # all cross pairs over (src cell, dst cell) blocks, fully vectorized
+        ai, bi, _, _ = _cross_block_pairs(
+            order,
+            starts[src_cells],
+            starts[dst_cells],
+            counts[src_cells],
+            counts[dst_cells],
+        )
+        if ai.size:
+            emit_pairs(ai, bi)
 
     if edges_i:
         row = np.concatenate(edges_i)

@@ -73,8 +73,14 @@ def centers_from_level2_arrays(
     softening: float = 1.0e-5,
     method: str = "bruteforce",
     backend: str = "vector",
+    workers: int | None = None,
 ) -> HaloCatalog:
-    """Find MBP centers for a Level 2 bundle (pos/tag/halo_tag arrays)."""
+    """Find MBP centers for a Level 2 bundle (pos/tag/halo_tag arrays).
+
+    ``workers > 1`` routes the batch through the :mod:`repro.exec`
+    work-stealing engine — the off-loaded halos are exactly the giant
+    ones, so this is where slab-splitting pays off most.
+    """
     pos = np.asarray(data["pos"], dtype=float)
     tags = np.asarray(data["tag"], dtype=np.int64)
     halo_tags = np.asarray(data["halo_tag"], dtype=np.int64)
@@ -89,6 +95,7 @@ def centers_from_level2_arrays(
         softening=softening,
         method=method,
         backend=backend,
+        workers=workers,
     )
     # One O(n log n) pass instead of the former O(halos × particles)
     # per-tag scan: count every tag once, then gather in result order.
@@ -111,15 +118,19 @@ def offline_center_job(
     method: str = "bruteforce",
     backend: str = "vector",
     block: int | None = None,
+    workers: int | None = None,
 ) -> HaloCatalog:
     """The stand-alone analysis driver the listener launches.
 
     Reads one Level 2 file (or a single block of it, the Moonlight
     single-node-job pattern), groups particles by halo tag, and finds
-    each halo's MBP center.
+    each halo's MBP center.  ``workers > 1`` fills the analysis node's
+    cores through the :mod:`repro.exec` engine.
     """
     rec = get_recorder()
-    with rec.span("offline.center_job", path=os.fspath(level2_path), block=block):
+    with rec.span(
+        "offline.center_job", path=os.fspath(level2_path), block=block, workers=workers
+    ):
         gio = GenericIOFile(level2_path)
         if block is not None:
             data = gio.read_block(block)
@@ -131,6 +142,7 @@ def offline_center_job(
             softening=softening,
             method=method,
             backend=backend,
+            workers=workers,
         )
     rec.counter("offline_jobs_total").inc()
     return catalog
@@ -145,6 +157,7 @@ def run_combined_workflow(
     n_ranks: int = 8,
     coschedule: bool = False,
     listener_poll: float = 0.1,
+    analysis_workers: int | None = None,
 ) -> CombinedRunResult:
     """Run the combined in-situ/off-line workflow for real.
 
@@ -152,6 +165,10 @@ def run_combined_workflow(
     the simulation runs and analyzes each Level 2 file as it appears;
     otherwise the off-line pass runs after the simulation completes
     (the "simple" variant).  Results are identical either way.
+
+    ``analysis_workers > 1`` runs every off-line center job on the
+    :mod:`repro.exec` multi-process engine (same results, the node's
+    cores actually used).
     """
     rec = get_recorder()
     spool_dir = os.fspath(spool_dir)
@@ -180,7 +197,7 @@ def run_combined_workflow(
     listener_stats = None
 
     def submit(path: str, step: int, script: str) -> None:
-        offline_catalogs.append(offline_center_job(path))
+        offline_catalogs.append(offline_center_job(path, workers=analysis_workers))
 
     sim = HACCSimulation(config, analysis_manager=manager)
 
@@ -237,6 +254,7 @@ def run_intransit_workflow(
     min_count: int = 40,
     n_ranks: int = 8,
     staging_capacity: int | None = None,
+    analysis_workers: int | None = None,
 ) -> CombinedRunResult:
     """The paper's hypothetical *in-transit* variant, implemented live.
 
@@ -279,7 +297,9 @@ def run_intransit_workflow(
         try:
             item = staging.wait_for(f"l2_step{last_step:04d}", timeout=600.0)
             with rec.span("offline.center_job", step=last_step, transport="staging"):
-                offline_catalogs.append(centers_from_level2_arrays(item.read_all()))
+                offline_catalogs.append(
+                    centers_from_level2_arrays(item.read_all(), workers=analysis_workers)
+                )
             rec.counter("offline_jobs_total").inc()
         except BaseException as exc:  # noqa: BLE001 - surfaced to caller
             rec.event(

@@ -7,6 +7,7 @@ NumPy-vectorized — the stand-ins for the paper's CPU and GPU targets).
 
 from .backends import (
     Backend,
+    ProcessBackend,
     SerialBackend,
     VectorBackend,
     available_backends,
@@ -35,6 +36,7 @@ from .primitives import (
 
 __all__ = [
     "Backend",
+    "ProcessBackend",
     "SerialBackend",
     "VectorBackend",
     "available_backends",

@@ -1,0 +1,44 @@
+"""Multi-process work-stealing execution engine for per-halo analysis.
+
+The paper's per-halo kernels (MBP center finding, subhalo finding) have
+n(n-1) cost over a brutally skewed halo-mass distribution, so *work
+placement* — not raw FLOPs — decides wall-clock (§3.3.2, Figure 4).
+This package supplies the intra-node parallel executor under the
+workflow layer:
+
+- :class:`SharedParticleStore` — zero-copy shared-memory particle arrays
+- :class:`HaloWorkQueue` — cost-model-guided LPT schedule with halo
+  splitting, small-halo chunking, and a work-stealing tail pool
+- :class:`ExecutionEngine` — the multi-process driver with full
+  :mod:`repro.obs` instrumentation (per-worker spans, load-imbalance
+  gauge, steal counters, dispatch-overhead histogram)
+- :func:`parallel_halo_centers` / :func:`parallel_subhalos` — batch
+  drivers returning bit-identical results to the serial paths
+"""
+
+from .engine import (
+    ExecReport,
+    ExecutionEngine,
+    ItemRecord,
+    SubhaloBatchResult,
+    WorkerError,
+    default_workers,
+    parallel_halo_centers,
+    parallel_subhalos,
+)
+from .sharedmem import SharedParticleStore
+from .workqueue import HaloWorkQueue, WorkItem
+
+__all__ = [
+    "ExecReport",
+    "ExecutionEngine",
+    "HaloWorkQueue",
+    "ItemRecord",
+    "SharedParticleStore",
+    "SubhaloBatchResult",
+    "WorkItem",
+    "WorkerError",
+    "default_workers",
+    "parallel_halo_centers",
+    "parallel_subhalos",
+]

@@ -1,0 +1,811 @@
+"""Work-stealing multi-process execution engine for per-halo analysis.
+
+This is the intra-node parallel executor under the workflow layer: the
+paper schedules *where* per-halo analysis runs (in-situ vs off-line,
+which cluster), and this engine decides *how* a batch of per-halo
+kernels fills the cores of whatever node it landed on.
+
+Design (see :mod:`repro.exec.workqueue` for the scheduling policy):
+
+* particle arrays live in :class:`~repro.exec.sharedmem.SharedParticleStore`
+  segments — workers attach zero-copy views, nothing bulky is pickled;
+* the :class:`~repro.exec.workqueue.HaloWorkQueue` pre-sorts work items
+  longest-processing-time-first using the ``n(n-1)`` cost model, splits
+  giant halos into row slabs, and packs small halos into amortized
+  chunks; the head items seed one worker each and idle workers steal
+  the tail through an atomic cursor;
+* results return through a queue as tiny tuples (indices + scalars for
+  centers; pickled :class:`~repro.analysis.subhalos.SubhaloResult` for
+  subhalos) and are reassembled in deterministic halo order, so output
+  is **bit-identical** to the serial path for any worker count;
+* a crashing worker is isolated: its traceback is shipped back, the
+  remaining workers drain at the next item boundary, and the engine
+  raises :class:`WorkerError` instead of hanging;
+* everything is instrumented through :mod:`repro.obs`: per-worker item
+  spans land in the Chrome trace on ``exec-worker-N`` tracks, the
+  ``exec_load_imbalance_ratio`` gauge reports max/mean worker busy time
+  (the paper's Figure 4 metric), ``exec_steals_total`` counts tail
+  steals, and ``exec_dispatch_overhead_seconds`` histograms the
+  per-item scheduling cost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..analysis.centers import (
+    DEFAULT_SOFTENING,
+    CenterStats,
+    HaloCentersResult,
+    _phi_rows,
+    group_halo_members,
+    mbp_center_astar,
+    mbp_center_bruteforce,
+)
+from ..obs import get_recorder
+from .sharedmem import SharedParticleStore
+from .workqueue import HaloWorkQueue, WorkItem
+
+__all__ = [
+    "ExecReport",
+    "ExecutionEngine",
+    "ItemRecord",
+    "SubhaloBatchResult",
+    "WorkerError",
+    "default_workers",
+    "parallel_halo_centers",
+    "parallel_subhalos",
+]
+
+
+def default_workers() -> int:
+    """Default worker count: the cores this process may schedule on."""
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(os.cpu_count() or 1, 1)
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed; carries the remote traceback."""
+
+    def __init__(self, message: str, worker_id: int | None = None, remote_traceback: str = ""):
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.remote_traceback = remote_traceback
+
+
+@dataclass
+class ItemRecord:
+    """Per-item execution record (feeds the Chrome-trace worker tracks)."""
+
+    worker: int
+    kind: str
+    n_halos: int
+    cost: int
+    t0: float
+    t1: float
+    overhead: float  # seconds between previous item end and kernel start
+    stolen: bool
+
+    @property
+    def seconds(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class ExecReport:
+    """What one engine run did — the load-balance evidence.
+
+    ``imbalance`` is max/mean worker busy time, the quantity behind the
+    paper's Figure 4 ("the imbalance between the fastest and the
+    slowest node is a factor of 15" in §4.2).
+    """
+
+    workers: int
+    n_items: int
+    n_halos: int
+    n_split_halos: int
+    wall_seconds: float
+    worker_busy: list[float] = field(default_factory=list)
+    steals: list[int] = field(default_factory=list)
+    imbalance: float = 1.0
+    total_cost: int = 0
+    item_log: list[ItemRecord] = field(default_factory=list)
+    halo_seconds: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_steals(self) -> int:
+        return int(sum(self.steals))
+
+    @property
+    def busy_fraction(self) -> float:
+        """Aggregate worker utilization (busy time / workers x wall)."""
+        if self.wall_seconds <= 0 or not self.worker_busy:
+            return 1.0
+        return sum(self.worker_busy) / (self.workers * self.wall_seconds)
+
+
+# ---------------------------------------------------------------------------
+# task runners (executed inside workers; registered by name so spawn-based
+# contexts can resolve them after re-import)
+# ---------------------------------------------------------------------------
+
+
+def _members_of(store: SharedParticleStore, h: int) -> np.ndarray:
+    starts = store["starts"]
+    return store["members"][int(starts[h]) : int(starts[h + 1])]
+
+
+def _run_centers_item(
+    item: WorkItem, store: SharedParticleStore, task: Mapping[str, Any], cache: dict
+) -> list[tuple]:
+    """Center finding: whole halos or a row slab of a giant halo."""
+    pos = store["pos"]
+    mass = task["mass"]
+    softening = task["softening"]
+    method = task["method"]
+    out: list[tuple] = []
+    if item.kind == "slab":
+        h = item.halo_indices[0]
+        hpos = cache.get(h)
+        if hpos is None:
+            cache.clear()  # keep at most one gathered giant halo resident
+            hpos = pos[_members_of(store, h)]
+            cache[h] = hpos
+        n = len(hpos)
+        phi = _phi_rows(hpos, item.row_start, item.row_end, mass, softening)
+        b = int(np.argmin(phi))
+        out.append(
+            (
+                "slab",
+                h,
+                item.row_start + b,
+                float(phi[b]),
+                item.row_end - item.row_start,
+                (item.row_end - item.row_start) * (n - 1),
+            )
+        )
+        return out
+    for h in item.halo_indices:
+        hpos = pos[_members_of(store, h)]
+        if method == "astar":
+            idx, phi, stats = mbp_center_astar(hpos, mass=mass, softening=softening)
+        else:
+            idx, phi, stats = mbp_center_bruteforce(
+                hpos, mass=mass, softening=softening, backend=task.get("backend")
+            )
+        out.append(
+            (
+                "halo",
+                h,
+                idx,
+                phi,
+                stats.n_particles,
+                stats.pair_evaluations,
+                stats.exact_potentials,
+            )
+        )
+    return out
+
+
+def _run_subhalos_item(
+    item: WorkItem, store: SharedParticleStore, task: Mapping[str, Any], cache: dict
+) -> list[tuple]:
+    """Subhalo decomposition of whole parent halos (never split)."""
+    from ..analysis.subhalos import find_subhalos
+
+    pos = store["pos"]
+    vel = store["vel"]
+    box = task.get("box")
+    vel_scale = task.get("vel_scale", 1.0)
+    out: list[tuple] = []
+    for h in item.halo_indices:
+        m = _members_of(store, h)
+        t0 = time.perf_counter()
+        hpos = pos[m].copy()
+        if box:
+            # halo-local frame: unwrap periodic coordinates about the first
+            # member (mirrors SubhaloFinderAlgorithm exactly)
+            hpos -= box * np.round((hpos - hpos[0]) / box)
+        hvel = vel[m] * vel_scale
+        res = find_subhalos(
+            hpos,
+            hvel,
+            mass=task["mass"],
+            g_constant=task["g_constant"],
+            k_density=task.get("k_density", 32),
+            n_link=task.get("n_link", 2),
+            min_size=task.get("min_size", 20),
+            unbind=task.get("unbind", True),
+            softening=task.get("softening", 1e-5),
+        )
+        out.append(("subhalo", h, res, time.perf_counter() - t0))
+    return out
+
+
+def _run_explode_item(
+    item: WorkItem, store: SharedParticleStore, task: Mapping[str, Any], cache: dict
+) -> list[tuple]:
+    """Crash-isolation test hook: always raises inside the worker."""
+    raise RuntimeError(task.get("message", "exec test worker explosion"))
+
+
+_TASK_RUNNERS: dict[str, Callable[..., list[tuple]]] = {
+    "centers": _run_centers_item,
+    "subhalos": _run_subhalos_item,
+    "explode": _run_explode_item,
+}
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(
+    worker_id: int,
+    spec: dict,
+    items: list[WorkItem],
+    seed_ids: list[int],
+    pool_ids: list[int],
+    cursor,
+    abort,
+    result_q,
+    task: dict,
+) -> None:
+    store = SharedParticleStore.attach(spec)
+    runner = _TASK_RUNNERS[task["task"]]
+    cache: dict = {}
+    busy = 0.0
+    steals = 0
+    t_prev = time.perf_counter()
+    try:
+        def run_one(item_id: int, stolen: bool) -> None:
+            nonlocal busy, t_prev
+            item = items[item_id]
+            t0 = time.perf_counter()
+            overhead = t0 - t_prev
+            payload = runner(item, store, task, cache)
+            t1 = time.perf_counter()
+            busy += t1 - t0
+            t_prev = t1
+            result_q.put(("ok", worker_id, item_id, payload, t0, t1, overhead, stolen))
+
+        for item_id in seed_ids:
+            if abort.is_set():
+                break
+            run_one(item_id, stolen=False)
+        while not abort.is_set():
+            with cursor.get_lock():
+                nxt = cursor.value
+                if nxt >= len(pool_ids):
+                    break
+                cursor.value = nxt + 1
+            steals += 1
+            run_one(pool_ids[nxt], stolen=True)
+        result_q.put(("done", worker_id, busy, steals))
+    except BaseException:
+        result_q.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+class ExecutionEngine:
+    """Multi-process work-stealing executor for per-halo batches.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (default: cores available to this process).
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default;
+        ``fork`` on Linux).
+    split_factor, chunk_factor, min_split_rows:
+        Scheduling knobs forwarded to :meth:`HaloWorkQueue.build`.
+    result_timeout:
+        Hard ceiling in seconds on waiting for worker results — the
+        no-hang guarantee even if a worker is killed outright.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        start_method: str | None = None,
+        split_factor: float = 2.0,
+        chunk_factor: float = 16.0,
+        min_split_rows: int = 256,
+        result_timeout: float = 600.0,
+    ):
+        self.workers = int(workers) if workers else default_workers()
+        self.start_method = start_method
+        self.split_factor = split_factor
+        self.chunk_factor = chunk_factor
+        self.min_split_rows = min_split_rows
+        self.result_timeout = result_timeout
+
+    # -- public API -----------------------------------------------------------
+
+    def build_queue(
+        self,
+        counts: np.ndarray,
+        cost_model: Callable[[np.ndarray], np.ndarray] | None = None,
+        splittable: bool = True,
+    ) -> HaloWorkQueue:
+        return HaloWorkQueue.build(
+            counts,
+            workers=self.workers,
+            cost_model=cost_model,
+            splittable=splittable,
+            split_factor=self.split_factor,
+            chunk_factor=self.chunk_factor,
+            min_split_rows=self.min_split_rows,
+        )
+
+    def run(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        work: HaloWorkQueue,
+        task: dict,
+    ) -> tuple[list[tuple[int, list[tuple]]], ExecReport]:
+        """Execute a work queue; returns ``(item payloads, report)``.
+
+        ``arrays`` must contain the shared inputs the task runner needs
+        (always ``members``/``starts`` plus e.g. ``pos``).  Payload
+        order is undefined (workers race); callers reassemble by halo
+        index, which is what makes results scheduling-independent.
+        """
+        rec = get_recorder()
+        n_workers = max(1, min(self.workers, max(len(work.items), 1)))
+        n_halos = int(len(arrays["starts"]) - 1) if "starts" in arrays else 0
+        with rec.span(
+            "exec.run",
+            task=task.get("task"),
+            workers=n_workers,
+            items=len(work.items),
+            halos=n_halos,
+        ):
+            t_wall0 = time.perf_counter()
+            if n_workers == 1 or len(work.items) == 0:
+                payloads, report = self._run_inline(arrays, work, task)
+            else:
+                payloads, report = self._run_processes(arrays, work, task, n_workers)
+            report.wall_seconds = time.perf_counter() - t_wall0
+            report.n_halos = n_halos
+            self._record_telemetry(rec, report, task)
+        return payloads, report
+
+    # -- inline (single worker, no processes) ---------------------------------
+
+    def _run_inline(
+        self, arrays: Mapping[str, np.ndarray], work: HaloWorkQueue, task: dict
+    ) -> tuple[list[tuple[int, list[tuple]]], ExecReport]:
+        runner = _TASK_RUNNERS[task["task"]]
+        store = _InlineStore(arrays)
+        cache: dict = {}
+        payloads: list[tuple[int, list[tuple]]] = []
+        log: list[ItemRecord] = []
+        busy = 0.0
+        order = [i for ids in work.seeds for i in ids] + list(work.pool)
+        t_prev = time.perf_counter()
+        for item_id in order:
+            item = work.items[item_id]
+            t0 = time.perf_counter()
+            payloads.append((item_id, runner(item, store, task, cache)))
+            t1 = time.perf_counter()
+            log.append(
+                ItemRecord(0, item.kind, item.n_halos, item.cost, t0, t1, t0 - t_prev, False)
+            )
+            busy += t1 - t0
+            t_prev = t1
+        return payloads, ExecReport(
+            workers=1,
+            n_items=len(work.items),
+            n_halos=0,
+            n_split_halos=work.n_split_halos,
+            wall_seconds=0.0,
+            worker_busy=[busy],
+            steals=[0],
+            imbalance=1.0,
+            total_cost=work.total_cost,
+            item_log=log,
+        )
+
+    # -- multi-process path ---------------------------------------------------
+
+    def _run_processes(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        work: HaloWorkQueue,
+        task: dict,
+        n_workers: int,
+    ) -> tuple[list[tuple[int, list[tuple]]], ExecReport]:
+        ctx = multiprocessing.get_context(self.start_method)
+        store = SharedParticleStore.create(**arrays)
+        procs: list[multiprocessing.Process] = []
+        error: WorkerError | None = None
+        payloads: list[tuple[int, list[tuple]]] = []
+        log: list[ItemRecord] = []
+        busy = [0.0] * n_workers
+        steals = [0] * n_workers
+        try:
+            result_q = ctx.Queue()
+            cursor = ctx.Value("l", 0)
+            abort = ctx.Event()
+            # re-balance seeds onto the actual worker count
+            seeds: list[list[int]] = [[] for _ in range(n_workers)]
+            flat_seeds = [i for ids in work.seeds for i in ids]
+            pool = list(work.pool)
+            for rank, item_id in enumerate(flat_seeds):
+                if rank < n_workers:
+                    seeds[rank].append(item_id)
+                else:
+                    pool.insert(rank - n_workers, item_id)
+            for w in range(n_workers):
+                p = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        w,
+                        store.spec,
+                        work.items,
+                        seeds[w],
+                        pool,
+                        cursor,
+                        abort,
+                        result_q,
+                        task,
+                    ),
+                    name=f"exec-worker-{w}",
+                    daemon=True,
+                )
+                procs.append(p)
+                p.start()
+
+            finished: set[int] = set()
+            deadline = time.monotonic() + self.result_timeout
+            while len(finished) < n_workers:
+                try:
+                    msg = result_q.get(timeout=0.2)
+                except queue_module.Empty:
+                    dead = [
+                        w
+                        for w in range(n_workers)
+                        if w not in finished and not procs[w].is_alive()
+                    ]
+                    if dead:
+                        abort.set()
+                        if error is None:
+                            error = WorkerError(
+                                f"worker {dead[0]} died without reporting "
+                                f"(exitcode {procs[dead[0]].exitcode})",
+                                worker_id=dead[0],
+                            )
+                        finished.update(dead)
+                    if time.monotonic() > deadline:
+                        abort.set()
+                        error = error or WorkerError(
+                            f"timed out after {self.result_timeout:.0f}s waiting "
+                            f"for workers {sorted(set(range(n_workers)) - finished)}"
+                        )
+                        break
+                    continue
+                if msg[0] == "ok":
+                    _, w, item_id, payload, t0, t1, overhead, stolen = msg
+                    payloads.append((item_id, payload))
+                    item = work.items[item_id]
+                    log.append(
+                        ItemRecord(w, item.kind, item.n_halos, item.cost, t0, t1, overhead, stolen)
+                    )
+                elif msg[0] == "done":
+                    _, w, wbusy, wsteals = msg
+                    busy[w] = wbusy
+                    steals[w] = wsteals
+                    finished.add(w)
+                elif msg[0] == "error":
+                    _, w, tb = msg
+                    abort.set()
+                    finished.add(w)
+                    if error is None:
+                        last = tb.strip().splitlines()[-1] if tb.strip() else "unknown"
+                        error = WorkerError(
+                            f"worker {w} failed: {last}", worker_id=w, remote_traceback=tb
+                        )
+            for p in procs:
+                p.join(timeout=10.0)
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - last-resort cleanup
+                    p.terminate()
+                    p.join(timeout=5.0)
+        finally:
+            store.unlink()
+        if error is not None:
+            raise error
+
+        nonzero = [b for b in busy if b > 0]
+        mean_busy = float(np.mean(busy)) if busy else 0.0
+        imbalance = (max(busy) / mean_busy) if nonzero and mean_busy > 0 else 1.0
+        return payloads, ExecReport(
+            workers=n_workers,
+            n_items=len(work.items),
+            n_halos=0,
+            n_split_halos=work.n_split_halos,
+            wall_seconds=0.0,
+            worker_busy=busy,
+            steals=steals,
+            imbalance=imbalance,
+            total_cost=work.total_cost,
+            item_log=log,
+        )
+
+    # -- telemetry ------------------------------------------------------------
+
+    def _record_telemetry(self, rec, report: ExecReport, task: dict) -> None:
+        rec.gauge(
+            "exec_load_imbalance_ratio",
+            help="max/mean worker busy seconds for the last engine run (Figure 4 metric)",
+        ).set(report.imbalance)
+        rec.gauge("exec_workers").set(report.workers)
+        rec.counter("exec_runs_total").inc()
+        rec.counter("exec_items_total").inc(report.n_items)
+        rec.counter("exec_halos_total").inc(report.n_halos)
+        rec.counter("exec_steals_total").inc(report.total_steals)
+        hist = rec.histogram(
+            "exec_dispatch_overhead_seconds",
+            help="gap between a worker finishing one item and starting the next",
+        )
+        record_span = getattr(rec, "record_span", None)
+        for it in report.item_log:
+            hist.observe(max(it.overhead, 0.0))
+            if record_span is not None and getattr(rec, "enabled", False):
+                record_span(
+                    "exec.item",
+                    it.t0,
+                    it.t1,
+                    thread=f"exec-worker-{it.worker}",
+                    task=task.get("task"),
+                    kind=it.kind,
+                    halos=it.n_halos,
+                    cost=it.cost,
+                    stolen=it.stolen,
+                )
+        rec.event(
+            "exec.run_done",
+            task=task.get("task"),
+            workers=report.workers,
+            items=report.n_items,
+            halos=report.n_halos,
+            split_halos=report.n_split_halos,
+            steals=report.total_steals,
+            imbalance=round(report.imbalance, 4),
+            busy_fraction=round(report.busy_fraction, 4),
+        )
+
+
+class _InlineStore:
+    """Dict-of-arrays stand-in for :class:`SharedParticleStore` (inline path)."""
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]):
+        self._arrays = arrays
+
+    def __getitem__(self, field: str) -> np.ndarray:
+        return np.asarray(self._arrays[field])
+
+
+# ---------------------------------------------------------------------------
+# batch drivers
+# ---------------------------------------------------------------------------
+
+
+def parallel_halo_centers(
+    pos: np.ndarray,
+    tags: np.ndarray,
+    labels: np.ndarray,
+    mass: float = 1.0,
+    softening: float = DEFAULT_SOFTENING,
+    method: str = "bruteforce",
+    backend: str | None = None,
+    select_tags: np.ndarray | None = None,
+    workers: int | None = None,
+    engine: ExecutionEngine | None = None,
+) -> HaloCentersResult:
+    """Batch MBP center finding on the multi-process engine.
+
+    Drop-in parallel fast path for
+    :func:`repro.analysis.centers.halo_centers`: same arguments, same
+    :class:`HaloCentersResult`, **bit-identical** centers / MBP tags /
+    potentials / pair counts for any worker count.  Brute-force batches
+    additionally split giant halos into row slabs so a single dominant
+    halo no longer pins the makespan to one core.
+    """
+    from ..analysis.centers import halo_centers
+
+    pos = np.atleast_2d(np.asarray(pos, dtype=float))
+    tags = np.asarray(tags)
+    labels = np.asarray(labels)
+    if engine is None:
+        engine = ExecutionEngine(workers=workers)
+    elif workers is not None:
+        engine.workers = int(workers)
+    if engine.workers <= 1:
+        return halo_centers(
+            pos, tags, labels, mass=mass, softening=softening, method=method,
+            backend=backend, select_tags=select_tags, workers=None,
+        )
+
+    halo_tags, groups = group_halo_members(labels, select_tags=select_tags)
+    n_halos = len(halo_tags)
+    if n_halos == 0:
+        return HaloCentersResult(
+            halo_tags=halo_tags,
+            centers=np.empty((0, 3)),
+            mbp_tags=np.empty(0, dtype=tags.dtype),
+            potentials=np.empty(0),
+            stats=CenterStats(),
+            per_halo_pairs=np.empty(0, np.int64),
+        )
+
+    counts = np.asarray([len(g) for g in groups], dtype=np.int64)
+    members = np.concatenate(groups).astype(np.int64)
+    starts = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    work = engine.build_queue(counts, splittable=(method == "bruteforce"))
+
+    from ..dataparallel import get_backend
+
+    kernel_backend = "vector"
+    if backend is not None:
+        resolved = get_backend(backend)
+        if resolved.name != "process":
+            kernel_backend = resolved.name
+    task = {
+        "task": "centers",
+        "method": method,
+        "mass": mass,
+        "softening": softening,
+        "backend": kernel_backend,
+    }
+    payloads, report = engine.run(
+        {"pos": pos, "members": members, "starts": starts}, work, task
+    )
+
+    centers = np.empty((n_halos, 3))
+    mbp_tags = np.empty(n_halos, dtype=tags.dtype)
+    potentials = np.empty(n_halos)
+    per_halo_pairs = np.zeros(n_halos, dtype=np.int64)
+    n_particles = np.zeros(n_halos, dtype=np.int64)
+    exact = np.zeros(n_halos, dtype=np.int64)
+    best: dict[int, tuple[float, int]] = {}  # slab reduction: h -> (phi, row)
+
+    for _, entries in payloads:
+        for entry in entries:
+            if entry[0] == "halo":
+                _, h, idx, phi, nparts, pairs, nexact = entry
+                best[h] = (phi, idx)
+                per_halo_pairs[h] = pairs
+                n_particles[h] = nparts
+                exact[h] = nexact
+            else:  # slab partial: reduce exactly like np.argmin (first min wins)
+                _, h, row, phi, rows, pairs = entry
+                per_halo_pairs[h] += pairs
+                n_particles[h] = counts[h]
+                exact[h] += rows
+                cur = best.get(h)
+                if cur is None or (phi, row) < cur:
+                    best[h] = (phi, row)
+
+    total = CenterStats(
+        n_particles=int(n_particles.sum()),
+        pair_evaluations=int(per_halo_pairs.sum()),
+        exact_potentials=int(exact.sum()),
+    )
+    for h in range(n_halos):
+        phi, idx = best[h]
+        gidx = groups[h][idx]
+        centers[h] = pos[gidx]
+        mbp_tags[h] = tags[gidx]
+        potentials[h] = phi
+    return HaloCentersResult(
+        halo_tags=halo_tags,
+        centers=centers,
+        mbp_tags=mbp_tags,
+        potentials=potentials,
+        stats=total,
+        per_halo_pairs=per_halo_pairs,
+        exec_report=report,
+    )
+
+
+@dataclass
+class SubhaloBatchResult:
+    """Batch subhalo output: per-parent results + the engine report."""
+
+    by_tag: dict[int, Any]
+    halo_seconds: dict[int, float] = field(default_factory=dict)
+    report: ExecReport | None = None
+
+
+def _subhalo_cost(counts: np.ndarray) -> np.ndarray:
+    """Scheduling cost model for the tree-based subhalo finder.
+
+    The finder is super-linear but not all-pairs (k-d tree builds +
+    k-NN + iterative unbinding of candidates): ``n log2 n`` matches the
+    machine cost model in :mod:`repro.machines.cost`.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    return np.maximum(counts * np.log2(np.maximum(counts, 2.0)), 1.0).astype(np.int64)
+
+
+def parallel_subhalos(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    halos: Mapping[int, np.ndarray],
+    mass: float = 1.0,
+    g_constant: float = 1.0,
+    k_density: int = 32,
+    n_link: int = 2,
+    min_size: int = 20,
+    unbind: bool = True,
+    softening: float = 1e-5,
+    box: float | None = None,
+    vel_scale: float = 1.0,
+    workers: int | None = None,
+    engine: ExecutionEngine | None = None,
+) -> SubhaloBatchResult:
+    """Batch :func:`~repro.analysis.subhalos.find_subhalos` on the engine.
+
+    ``halos`` maps parent halo tag -> member particle *indices* into
+    ``pos``/``vel``.  ``box`` enables the periodic halo-local unwrap and
+    ``vel_scale`` the proper-velocity conversion, mirroring
+    :class:`~repro.insitu.algorithms.SubhaloFinderAlgorithm`.  Results
+    are identical to the serial loop for any worker count.
+    """
+    pos = np.atleast_2d(np.asarray(pos, dtype=float))
+    vel = np.atleast_2d(np.asarray(vel, dtype=float))
+    if engine is None:
+        engine = ExecutionEngine(workers=workers)
+    elif workers is not None:
+        engine.workers = int(workers)
+
+    tag_list = list(halos.keys())
+    groups = [np.asarray(halos[t], dtype=np.int64) for t in tag_list]
+    if not groups:
+        return SubhaloBatchResult(by_tag={})
+    counts = np.asarray([len(g) for g in groups], dtype=np.int64)
+    members = np.concatenate(groups)
+    starts = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    work = engine.build_queue(counts, cost_model=_subhalo_cost, splittable=False)
+    task = {
+        "task": "subhalos",
+        "mass": mass,
+        "g_constant": g_constant,
+        "k_density": k_density,
+        "n_link": n_link,
+        "min_size": min_size,
+        "unbind": unbind,
+        "softening": softening,
+        "box": box,
+        "vel_scale": vel_scale,
+    }
+    payloads, report = engine.run(
+        {"pos": pos, "vel": vel, "members": members, "starts": starts}, work, task
+    )
+    by_tag: dict[int, Any] = {}
+    halo_seconds: dict[int, float] = {}
+    for _, entries in payloads:
+        for _, h, res, seconds in entries:
+            by_tag[tag_list[h]] = res
+            halo_seconds[tag_list[h]] = seconds
+    report.halo_seconds = halo_seconds
+    return SubhaloBatchResult(by_tag=by_tag, halo_seconds=halo_seconds, report=report)

@@ -1,0 +1,174 @@
+"""Zero-copy shared-memory particle arrays for the execution engine.
+
+The paper's per-halo analysis kernels are bandwidth-hungry: shipping a
+pickled copy of the particle arrays to every worker process would cost
+O(P) serialization per worker and multiply resident memory by the
+worker count.  :class:`SharedParticleStore` instead places each array in
+a POSIX shared-memory segment (:mod:`multiprocessing.shared_memory`);
+workers *attach* and get live NumPy views — zero copies, zero pickling
+of bulk data, identical bytes in every process (a prerequisite for the
+engine's bit-identical-results guarantee).
+
+Lifecycle::
+
+    store = SharedParticleStore.create(pos=pos, tags=tags, labels=labels)
+    spec = store.spec                 # tiny, picklable, sent to workers
+    ...                               # workers: SharedParticleStore.attach(spec)
+    store.unlink()                    # owner frees the segments
+
+Workers must ``close()`` (not ``unlink()``) their attachment; the
+creating process owns the segments and frees them once the batch is
+collected.  Both are idempotent and also run via the context-manager
+protocol.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["SharedParticleStore"]
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering a second owner.
+
+    Python >= 3.13 supports ``track=False`` which keeps the resource
+    tracker from double-counting (and spuriously unlinking) segments
+    attached by worker processes; on older versions plain attachment is
+    used and the creating process remains the single unlinker.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - depends on Python version
+        return shared_memory.SharedMemory(name=name)
+
+
+class SharedParticleStore:
+    """A named bundle of NumPy arrays living in shared memory.
+
+    Create with :meth:`create` (copies each array into its own segment),
+    ship :attr:`spec` to workers, re-open with :meth:`attach`.  Arrays
+    are exposed by name via :meth:`array` / ``store["pos"]``; attached
+    views are writable but the engine treats them as read-only inputs.
+    """
+
+    def __init__(
+        self,
+        segments: dict[str, shared_memory.SharedMemory],
+        spec: dict[str, tuple[str, tuple[int, ...], str]],
+        owner: bool,
+    ):
+        self._segments = segments
+        self._spec = spec
+        self._owner = owner
+        self._closed = False
+        self._arrays: dict[str, np.ndarray] = {
+            field: np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=segments[field].buf)
+            for field, (_, shape, dtype_str) in spec.items()
+        }
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, **arrays: np.ndarray) -> "SharedParticleStore":
+        """Copy keyword arrays into fresh shared-memory segments."""
+        segments: dict[str, shared_memory.SharedMemory] = {}
+        spec: dict[str, tuple[str, tuple[int, ...], str]] = {}
+        try:
+            for field, value in arrays.items():
+                arr = np.ascontiguousarray(value)
+                nbytes = max(int(arr.nbytes), 1)  # zero-size arrays need 1 byte
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                segments[field] = shm
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                spec[field] = (shm.name, tuple(arr.shape), arr.dtype.str)
+        except Exception:
+            for shm in segments.values():
+                shm.close()
+                shm.unlink()
+            raise
+        return cls(segments, spec, owner=True)
+
+    @classmethod
+    def attach(
+        cls, spec: Mapping[str, tuple[str, tuple[int, ...], str]]
+    ) -> "SharedParticleStore":
+        """Re-open a store from its picklable :attr:`spec` (worker side)."""
+        segments = {
+            field: _attach_segment(name) for field, (name, _, _) in spec.items()
+        }
+        return cls(segments, dict(spec), owner=False)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def spec(self) -> dict[str, tuple[str, tuple[int, ...], str]]:
+        """Picklable description: ``field -> (segment, shape, dtype)``."""
+        return dict(self._spec)
+
+    @property
+    def fields(self) -> list[str]:
+        return list(self._spec)
+
+    @property
+    def nbytes(self) -> int:
+        """Total shared bytes across all segments."""
+        return sum(
+            int(np.prod(shape)) * np.dtype(dtype).itemsize
+            for _, shape, dtype in self._spec.values()
+        )
+
+    def array(self, field: str) -> np.ndarray:
+        """Zero-copy view of one array (valid until :meth:`close`)."""
+        if self._closed:
+            raise RuntimeError("shared store is closed")
+        return self._arrays[field]
+
+    def __getitem__(self, field: str) -> np.ndarray:
+        return self.array(field)
+
+    def __contains__(self, field: str) -> bool:
+        return field in self._spec
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._spec)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._arrays.clear()
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    def unlink(self) -> None:
+        """Free the segments (owner only; implies :meth:`close`)."""
+        segments = dict(self._segments)
+        self.close()
+        if not self._owner:
+            return
+        self._owner = False
+        for shm in segments.values():
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedParticleStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()

@@ -1,0 +1,225 @@
+"""Cost-model-guided work decomposition for per-halo analysis.
+
+The paper's load-imbalance villain (§3.3.2, Figure 4) is the n(n-1)
+cost skew of per-halo MBP center finding: one 10M-particle halo costs
+10^4 times a 100k one, so *placement* — not raw FLOPs — decides
+wall-clock.  :class:`HaloWorkQueue` turns a halo catalog into a
+schedule that attacks the skew from three sides:
+
+1. **Splitting** — halos whose modeled cost exceeds a per-worker quantum
+   are cut into row *slabs* (each slab computes the potentials of a row
+   range against all members), so even a single dominant halo spreads
+   across workers.  Only cost models that are row-separable support
+   this (brute-force MBP is; the A* search and the subhalo tree walk
+   are not).
+2. **LPT ordering** — remaining work items are sorted
+   longest-processing-time-first, the classic 4/3-competitive greedy
+   for makespan.
+3. **Chunking** — small halos are packed into amortized chunks so the
+   per-item dispatch overhead (queue round-trip, result pickling) is
+   paid once per chunk instead of once per 40-particle halo.
+
+The largest items seed one worker each (static LPT assignment); the
+rest form a shared tail pool that idle workers *steal* from.  The queue
+itself is a plain in-process structure — the engine shares only the
+item list and an atomic pool cursor with its workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["WorkItem", "HaloWorkQueue"]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable unit: a chunk of whole halos or a slab of one.
+
+    ``kind`` is ``"halos"`` (``halo_indices`` are indices into the batch
+    halo list, each processed whole) or ``"slab"`` (rows
+    ``row_start:row_end`` of the single halo ``halo_indices[0]``).
+    ``cost`` is the modeled pair-interaction count used for scheduling.
+    """
+
+    kind: str
+    halo_indices: tuple[int, ...]
+    cost: int
+    row_start: int = 0
+    row_end: int = 0
+
+    @property
+    def n_halos(self) -> int:
+        return len(self.halo_indices)
+
+
+@dataclass
+class HaloWorkQueue:
+    """LPT-ordered work items with static seeds and a steal pool.
+
+    ``items`` is the full item list; ``seeds[w]`` are the item ids
+    worker ``w`` starts with; ``pool`` is the shared LPT-ordered tail
+    that idle workers steal from.
+    """
+
+    items: list[WorkItem]
+    seeds: list[list[int]]
+    pool: list[int]
+    total_cost: int = 0
+    n_split_halos: int = 0
+    split_threshold: int = 0
+    chunk_target: int = 0
+    modeled_makespan: float = field(default=0.0)
+
+    @classmethod
+    def build(
+        cls,
+        counts: Sequence[int] | np.ndarray,
+        workers: int,
+        cost_model: Callable[[np.ndarray], np.ndarray] | None = None,
+        splittable: bool = True,
+        split_factor: float = 2.0,
+        chunk_factor: float = 16.0,
+        min_split_rows: int = 256,
+    ) -> "HaloWorkQueue":
+        """Decompose a batch of per-halo tasks into scheduled work items.
+
+        Parameters
+        ----------
+        counts:
+            Particle count of each halo in the batch (index = halo id).
+        workers:
+            Worker processes the schedule targets.
+        cost_model:
+            Maps counts to modeled costs.  Defaults to the paper's MBP
+            pair model ``n(n-1)`` (:func:`repro.analysis.centers.center_finding_cost`).
+        splittable:
+            Whether a single halo's work may be split into row slabs
+            (True for brute-force centers, False for A* / subhalos).
+        split_factor:
+            Halos costing more than ``total / (workers * split_factor)``
+            are split; larger values split more aggressively.
+        chunk_factor:
+            Small halos are packed into chunks of roughly
+            ``total / (workers * chunk_factor)`` cost each.
+        min_split_rows:
+            Never emit slabs thinner than this many rows (guards the
+            slab kernel's vectorization efficiency).
+        """
+        if cost_model is None:
+            from ..analysis.centers import center_finding_cost
+
+            cost_model = center_finding_cost
+        counts = np.asarray(counts, dtype=np.int64)
+        n_halos = len(counts)
+        workers = max(int(workers), 1)
+        costs = np.maximum(cost_model(counts).astype(np.int64), 1)
+        total = int(costs.sum())
+
+        split_threshold = max(int(total / (workers * split_factor)), 1) if n_halos else 1
+        chunk_target = max(int(total / (workers * chunk_factor)), 1) if n_halos else 1
+
+        items: list[WorkItem] = []
+        n_split = 0
+        small: list[int] = []  # halo ids below the chunk target, cost-desc
+
+        order = np.argsort(-costs, kind="stable")  # LPT over halos
+        for h in order:
+            h = int(h)
+            c = int(costs[h])
+            n = int(counts[h])
+            if splittable and c > split_threshold and n >= 2 * min_split_rows:
+                # row slabs: each computes rows [s, e) against all n members;
+                # per-row cost is ~n pair terms, so even slabs equalize cost
+                n_slabs = min(int(np.ceil(c / split_threshold)), n // min_split_rows)
+                n_slabs = max(n_slabs, 1)
+                bounds = np.linspace(0, n, n_slabs + 1).astype(int)
+                n_split += 1
+                for s, e in zip(bounds[:-1], bounds[1:]):
+                    if e > s:
+                        items.append(
+                            WorkItem(
+                                kind="slab",
+                                halo_indices=(h,),
+                                cost=int((e - s) * max(n - 1, 1)),
+                                row_start=int(s),
+                                row_end=int(e),
+                            )
+                        )
+            elif c >= chunk_target:
+                items.append(WorkItem(kind="halos", halo_indices=(h,), cost=c))
+            else:
+                small.append(h)
+
+        # pack the small tail into amortized chunks (still cost-descending)
+        chunk: list[int] = []
+        chunk_cost = 0
+        for h in small:
+            chunk.append(h)
+            chunk_cost += int(costs[h])
+            if chunk_cost >= chunk_target:
+                items.append(WorkItem(kind="halos", halo_indices=tuple(chunk), cost=chunk_cost))
+                chunk = []
+                chunk_cost = 0
+        if chunk:
+            items.append(WorkItem(kind="halos", halo_indices=tuple(chunk), cost=chunk_cost))
+
+        # global LPT order over the final items
+        items.sort(key=lambda it: -it.cost)
+
+        # static seeds: greedy LPT assignment of the head items, one per
+        # worker; everything else is the shared steal pool (tail)
+        seeds: list[list[int]] = [[] for _ in range(workers)]
+        for w in range(min(workers, len(items))):
+            seeds[w].append(w)
+        pool = list(range(min(workers, len(items)), len(items)))
+
+        # modeled makespan (for the imbalance projection / tests)
+        loads = np.zeros(workers)
+        for w, ids in enumerate(seeds):
+            loads[w] = sum(items[i].cost for i in ids)
+        for i in pool:
+            w = int(np.argmin(loads))
+            loads[w] += items[i].cost
+        makespan = float(loads.max()) if len(items) else 0.0
+
+        return cls(
+            items=items,
+            seeds=seeds,
+            pool=pool,
+            total_cost=total,
+            n_split_halos=n_split,
+            split_threshold=split_threshold,
+            chunk_target=chunk_target,
+            modeled_makespan=makespan,
+        )
+
+    # -- invariants (used by tests) -------------------------------------------
+
+    def covered_halos(self) -> dict[int, list[tuple[int, int]]]:
+        """Halo id -> list of (row_start, row_end) covering it (whole
+        halos report a single ``(0, 0)`` marker)."""
+        out: dict[int, list[tuple[int, int]]] = {}
+        for it in self.items:
+            if it.kind == "slab":
+                out.setdefault(it.halo_indices[0], []).append((it.row_start, it.row_end))
+            else:
+                for h in it.halo_indices:
+                    out.setdefault(h, []).append((0, 0))
+        return out
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    def modeled_imbalance(self, serial_cost: float | None = None) -> float:
+        """Projected max/mean worker load under greedy LPT."""
+        total = serial_cost if serial_cost is not None else float(self.total_cost)
+        workers = len(self.seeds)
+        if not workers or self.modeled_makespan <= 0:
+            return 1.0
+        mean = total / workers
+        return self.modeled_makespan / mean if mean > 0 else 1.0

@@ -181,6 +181,9 @@ class HaloCenterAlgorithm(_Scheduled):
 
     Stores under ``"centers"``: a :class:`HaloCatalog` of the in-situ
     centers, the list of off-loaded halo tags, and per-rank seconds.
+
+    With ``workers > 1`` each simulated rank's owned-halo batch runs on
+    the :mod:`repro.exec` work-stealing engine (bit-identical results).
     """
 
     name = "halo_centers"
@@ -188,6 +191,7 @@ class HaloCenterAlgorithm(_Scheduled):
     method: str = "bruteforce"
     backend: str = "vector"
     softening: float = 1.0e-5
+    workers: int | None = None
 
     def execute(self, sim, context: AnalysisContext) -> None:
         fof = context.require("fof")
@@ -214,27 +218,59 @@ class HaloCenterAlgorithm(_Scheduled):
         for t in insitu_tags:
             by_rank.setdefault(owner_rank[t], []).append(t)
 
+        parallel = bool(self.workers and int(self.workers) > 1)
         for rank in range(n_ranks):
             t0 = time.perf_counter()
-            for halo_tag in by_rank.get(rank, []):
-                members = halos[halo_tag]
-                idx = index_of[members]
-                hpos = pos[idx]
+            rank_tags = by_rank.get(rank, [])
+            if parallel and rank_tags:
+                # one engine batch per simulated rank: the exec layer
+                # LPT-schedules (and slab-splits) the rank's halos across
+                # worker processes; output order is re-mapped so the
+                # catalog matches the serial path exactly
+                idx = np.concatenate([index_of[halos[t]] for t in rank_tags])
+                member_tags = np.concatenate([halos[t] for t in rank_tags])
+                labels = np.concatenate(
+                    [np.full(len(halos[t]), t, dtype=np.int64) for t in rank_tags]
+                )
                 res = halo_centers(
-                    hpos,
-                    members,
-                    np.full(len(members), halo_tag, dtype=np.int64),
+                    pos[idx],
+                    member_tags,
+                    labels,
                     mass=sim.particles.particle_mass,
                     softening=self.softening,
                     method=self.method,
                     backend=self.backend,
+                    workers=int(self.workers),
                 )
-                cat_tags.append(halo_tag)
-                cat_counts.append(len(members))
-                cat_centers.append(res.centers[0])
-                cat_mbp.append(int(res.mbp_tags[0]))
-                cat_phi.append(float(res.potentials[0]))
+                row_of = {int(t): i for i, t in enumerate(res.halo_tags)}
+                for halo_tag in rank_tags:
+                    i = row_of[int(halo_tag)]
+                    cat_tags.append(halo_tag)
+                    cat_counts.append(len(halos[halo_tag]))
+                    cat_centers.append(res.centers[i])
+                    cat_mbp.append(int(res.mbp_tags[i]))
+                    cat_phi.append(float(res.potentials[i]))
                 rank_pairs[rank] += int(res.stats.pair_evaluations)
+            else:
+                for halo_tag in rank_tags:
+                    members = halos[halo_tag]
+                    idx = index_of[members]
+                    hpos = pos[idx]
+                    res = halo_centers(
+                        hpos,
+                        members,
+                        np.full(len(members), halo_tag, dtype=np.int64),
+                        mass=sim.particles.particle_mass,
+                        softening=self.softening,
+                        method=self.method,
+                        backend=self.backend,
+                    )
+                    cat_tags.append(halo_tag)
+                    cat_counts.append(len(members))
+                    cat_centers.append(res.centers[0])
+                    cat_mbp.append(int(res.mbp_tags[0]))
+                    cat_phi.append(float(res.potentials[0]))
+                    rank_pairs[rank] += int(res.stats.pair_evaluations)
             rank_seconds[rank] = time.perf_counter() - t0
 
         catalog = HaloCatalog.from_columns(
@@ -267,6 +303,10 @@ class SubhaloFinderAlgorithm(_Scheduled):
     min_parent: int = 5000
     k_density: int = 32
     min_size: int = 20
+    #: with ``workers > 1`` the whole parent batch runs on the
+    #: :mod:`repro.exec` engine; per-rank seconds are rebuilt from the
+    #: engine's per-halo timings so the imbalance metric is preserved
+    workers: int | None = None
 
     def execute(self, sim, context: AnalysisContext) -> None:
         fof = context.require("fof")
@@ -290,24 +330,46 @@ class SubhaloFinderAlgorithm(_Scheduled):
             if len(m) > self.min_parent:
                 by_rank.setdefault(owner_rank[t], []).append(t)
 
-        for rank in range(n_ranks):
-            t0 = time.perf_counter()
-            for halo_tag in by_rank.get(rank, []):
-                idx = index_of[halos[halo_tag]]
-                # halo-local frame: unwrap periodic coordinates about the
-                # first member so distances are physical
-                hpos = pos[idx].copy()
-                hpos -= box * np.round((hpos - hpos[0]) / box)
-                hvel = vel[idx] / a  # proper peculiar velocity proxy
-                results[halo_tag] = find_subhalos(
-                    hpos,
-                    hvel,
-                    mass=sim.particles.particle_mass,
-                    g_constant=g_code,
-                    k_density=self.k_density,
-                    min_size=self.min_size,
+        if self.workers and int(self.workers) > 1 and by_rank:
+            from ..exec import parallel_subhalos
+
+            all_tags = [t for r in range(n_ranks) for t in by_rank.get(r, [])]
+            batch = parallel_subhalos(
+                pos,
+                vel,
+                {t: index_of[halos[t]] for t in all_tags},
+                mass=sim.particles.particle_mass,
+                g_constant=g_code,
+                k_density=self.k_density,
+                min_size=self.min_size,
+                box=box,
+                vel_scale=1.0 / a,  # proper peculiar velocity proxy
+                workers=int(self.workers),
+            )
+            results = {t: batch.by_tag[t] for t in all_tags}
+            for rank in range(n_ranks):
+                rank_seconds[rank] = sum(
+                    batch.halo_seconds.get(t, 0.0) for t in by_rank.get(rank, [])
                 )
-            rank_seconds[rank] = time.perf_counter() - t0
+        else:
+            for rank in range(n_ranks):
+                t0 = time.perf_counter()
+                for halo_tag in by_rank.get(rank, []):
+                    idx = index_of[halos[halo_tag]]
+                    # halo-local frame: unwrap periodic coordinates about the
+                    # first member so distances are physical
+                    hpos = pos[idx].copy()
+                    hpos -= box * np.round((hpos - hpos[0]) / box)
+                    hvel = vel[idx] / a  # proper peculiar velocity proxy
+                    results[halo_tag] = find_subhalos(
+                        hpos,
+                        hvel,
+                        mass=sim.particles.particle_mass,
+                        g_constant=g_code,
+                        k_density=self.k_density,
+                        min_size=self.min_size,
+                    )
+                rank_seconds[rank] = time.perf_counter() - t0
 
         context.store["subhalos"] = {"by_halo": results, "min_parent": self.min_parent}
         context.timings["subhalo_rank_seconds"] = rank_seconds.tolist()

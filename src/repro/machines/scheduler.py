@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from ..obs import get_recorder
 from .machine import MachineSpec
@@ -32,6 +33,12 @@ class Job:
     ``submit_time`` is when the job enters the queue; ``after`` lists
     jobs that must *complete* before this one may start (the off-line
     workflow's "queued after sim" semantics).
+
+    ``payload`` is an optional real callable executed when the job
+    starts on the simulated machine — the hook the live co-scheduled
+    workflow uses to run its actual analysis (e.g. an off-line center
+    job on the :mod:`repro.exec` engine) at the moment the scheduler
+    grants it nodes.  Its return value lands in ``result``.
     """
 
     name: str
@@ -39,10 +46,12 @@ class Job:
     duration: float
     submit_time: float = 0.0
     after: list["Job"] = field(default_factory=list)
+    payload: Callable[[], Any] | None = None
 
     # filled by the scheduler
     start_time: float | None = None
     end_time: float | None = None
+    result: Any = None
 
     @property
     def queue_wait(self) -> float:
@@ -140,6 +149,13 @@ class Scheduler:
                         sim_end=job.end_time,
                         queue_wait=job.queue_wait,
                     )
+                    if job.payload is not None:
+                        # execute the attached real work at grant time
+                        with rec.span(
+                            "scheduler.job_exec", job=job.name, n_nodes=job.n_nodes
+                        ):
+                            job.result = job.payload()
+                        rec.counter("scheduler_payloads_executed_total").inc()
             if running:
                 end, _, job = heapq.heappop(running)
                 clock = max(clock, end)

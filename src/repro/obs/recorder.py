@@ -92,6 +92,9 @@ class NullRecorder:
     def span(self, name: str, **fields: Any) -> _NullSpan:
         return _NULL_SPAN
 
+    def record_span(self, name: str, t0: float, t1: float, **fields: Any) -> None:
+        return None
+
     def event(self, name: str, level: str = "info", **fields: Any) -> None:
         return None
 
@@ -156,6 +159,22 @@ class TelemetryRecorder:
 
     def traced(self, name: str | None = None, **fields: Any):
         return self.tracer.traced(name, **fields)
+
+    def record_span(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        *,
+        thread: str | None = None,
+        step: int | None = None,
+        rank: int | None = None,
+        **fields: Any,
+    ) -> Span:
+        """Record an interval measured elsewhere (e.g. a worker process)."""
+        return self.tracer.record_span(
+            name, t0, t1, thread=thread, step=step, rank=rank, **fields
+        )
 
     def _sink_span(self, span: Span) -> None:
         if self.sink is not None:

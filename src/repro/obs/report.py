@@ -32,6 +32,7 @@ PHASE_RULES: tuple[tuple[str, str], ...] = (
     ("listener.", "Listener"),
     ("staging.", "Staging"),
     ("io.", "I/O"),
+    ("exec.", "Parallel exec"),
     ("scheduler.", "Scheduler"),
     ("workflow.", "Workflow"),
 )

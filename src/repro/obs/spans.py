@@ -175,6 +175,45 @@ class Tracer:
 
         return decorate
 
+    def record_span(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        *,
+        thread: str | None = None,
+        step: int | None = None,
+        rank: int | None = None,
+        **fields: Any,
+    ) -> Span:
+        """Record an already-finished interval as a span.
+
+        For intervals measured elsewhere — e.g. the execution engine's
+        worker processes, which report :func:`time.perf_counter` pairs
+        back to the parent.  ``thread`` overrides the track name so the
+        span renders on its own Chrome-trace lane (``exec-worker-3``)
+        instead of the recording thread's.
+        """
+        s = Span(
+            name=name,
+            t0=float(t0),
+            t1=float(t1),
+            wall0=time.time() - (time.perf_counter() - float(t0)),
+            run=self.run,
+            step=step,
+            rank=rank,
+            fields=fields,
+            span_id=next(_span_ids),
+            thread=thread or threading.current_thread().name,
+        )
+        with self._lock:
+            self.started_total += 1
+            self._finished.append(s)
+            self.finished_total += 1
+        if self.on_finish is not None:
+            self.on_finish(s)
+        return s
+
     def snapshot(self) -> list[Span]:
         """Finished spans, ordered by completion time."""
         with self._lock:
