@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..check.sanitize import guard_kernel
 from ..dataparallel import get_backend
 
 __all__ = [
@@ -134,6 +135,7 @@ def _phi_rows(
     return contrib.sum(axis=1)
 
 
+@guard_kernel
 def potential_bruteforce(
     pos: np.ndarray,
     mass: float = 1.0,
@@ -162,6 +164,7 @@ def potential_bruteforce(
     return phi
 
 
+@guard_kernel
 def mbp_center_bruteforce(
     pos: np.ndarray,
     mass: float = 1.0,
@@ -184,6 +187,7 @@ def mbp_center_bruteforce(
     return idx, float(phi[idx]), stats
 
 
+@guard_kernel
 def mbp_center_astar(
     pos: np.ndarray,
     mass: float = 1.0,

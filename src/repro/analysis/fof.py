@@ -386,7 +386,7 @@ def halo_groups(result: FOFResult) -> dict[int, np.ndarray]:
     order = np.argsort(result.labels, kind="stable")
     sl = result.labels[order]
     starts = np.flatnonzero(np.concatenate([[True], sl[1:] != sl[:-1]])) if len(sl) else []
-    bounds = list(starts) + [len(sl)]
+    bounds = [*starts, len(sl)]
     for s, e in zip(bounds[:-1], bounds[1:]):
         tag = sl[s]
         if tag >= 0:
@@ -449,8 +449,8 @@ def parallel_fof(
 
     ghost_pos = [chunk["pos"] for src, chunk in enumerate(received) if src != comm.rank]
     ghost_tag = [chunk["tag"] for src, chunk in enumerate(received) if src != comm.rank]
-    all_pos = np.concatenate([pos] + ghost_pos) if ghost_pos else pos
-    all_tag = np.concatenate([tags] + ghost_tag) if ghost_tag else tags
+    all_pos = np.concatenate([pos, *ghost_pos]) if ghost_pos else pos
+    all_tag = np.concatenate([tags, *ghost_tag]) if ghost_tag else tags
 
     # NOTE: a particle may legitimately arrive as several periodic images
     # (e.g. on a 2-wide process grid the same source rank is both the +x

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..check.sanitize import guard_kernel
+
 __all__ = ["SOResult", "so_mass", "so_masses"]
 
 
@@ -30,6 +32,7 @@ class SOResult:
     converged: bool
 
 
+@guard_kernel
 def so_mass(
     pos: np.ndarray,
     center: np.ndarray,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..check.sanitize import guard_kernel
 from .kdtree import KDTree
 
 __all__ = ["cubic_spline_kernel", "knn_neighbors", "sph_density", "tophat_density"]
@@ -69,6 +70,7 @@ def knn_neighbors(
     return idx, dist
 
 
+@guard_kernel
 def sph_density(
     pos: np.ndarray,
     mass: float = 1.0,

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..check.sanitize import guard_kernel
 from .kdtree import KDTree
 from .sph import knn_neighbors, sph_density
 
@@ -60,6 +61,7 @@ class SubhaloResult:
         return len(self.subhalo_sizes)
 
 
+@guard_kernel
 def unbind_particles(
     pos: np.ndarray,
     vel: np.ndarray,
@@ -122,6 +124,7 @@ def unbind_particles(
     return alive
 
 
+@guard_kernel
 def find_subhalos(
     pos: np.ndarray,
     vel: np.ndarray,
@@ -210,7 +213,7 @@ def find_subhalos(
 
     # surviving roots (typically one: the whole halo) are candidates with
     # their final membership — the "main body" candidate
-    for g, mlist in members.items():
+    for mlist in members.values():
         candidates.append(np.asarray(mlist, dtype=np.intp))
 
     candidates = [c for c in candidates if len(c) >= min_size]

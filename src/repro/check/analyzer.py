@@ -1,0 +1,299 @@
+"""The analysis driver: parse modules, run rules, apply ``noqa``.
+
+One :class:`ModuleContext` is built per file (AST + parent links + a
+resolved import map + the ``# repro: noqa`` suppression table); every
+enabled, in-scope rule then walks it.  Scoping and suppression happen
+here so individual rules stay small and order-independent.
+
+Suppression syntax, on the offending line::
+
+    x = np.random.default_rng()          # repro: noqa            (all)
+    x = np.random.default_rng()          # repro: noqa[RPR001]    (one)
+    a = b                                # repro: noqa[RPR001,RPR004]
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .config import CheckConfig, path_in_scope
+from .findings import Finding
+
+__all__ = [
+    "AnalysisResult",
+    "ModuleContext",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "module_rel",
+]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?")
+
+#: Code attached to files that fail to parse.
+PARSE_ERROR_CODE = "RPR000"
+
+
+def module_rel(path: str) -> str:
+    """Path relative to the ``repro`` package root, for rule scoping.
+
+    ``src/repro/analysis/centers.py`` -> ``analysis/centers.py``.  Paths
+    outside a ``repro`` package are returned as given (posix-normalized)
+    so fixture files can opt into scoped rules by spelling a scope-like
+    path, e.g. ``analysis/snippet.py``.
+    """
+    norm = path.replace("\\", "/")
+    for marker in ("/repro/", "src/repro/"):
+        if marker in norm:
+            return norm.rsplit(marker, 1)[1]
+    if norm.startswith("repro/"):
+        return norm[len("repro/") :]
+    return norm.lstrip("./")
+
+
+class _ImportMap:
+    """Resolves local names to canonical dotted module paths.
+
+    ``import numpy as np`` makes ``np.random.default_rng`` resolve to
+    ``numpy.random.default_rng``; ``from time import perf_counter as t``
+    makes ``t`` resolve to ``time.perf_counter``.  Relative imports keep
+    their imported-name tail (``from .sharedmem import SharedParticleStore``
+    -> ``SharedParticleStore``), which is what the lifecycle rules match.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:  # ``import numpy.random`` binds the head name
+                        head = alias.name.split(".", 1)[0]
+                        self.aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    target = f"{base}.{alias.name}" if base and node.level == 0 else alias.name
+                    self.aliases[alias.asname or alias.name] = target
+
+    def resolve(self, chain: Sequence[str]) -> str:
+        if not chain:
+            return ""
+        head, *rest = chain
+        resolved_head = self.aliases.get(head, head)
+        return ".".join([resolved_head, *rest])
+
+
+def dotted_chain(node: ast.expr) -> tuple[str, ...]:
+    """``a.b.c`` -> ``("a", "b", "c")``; empty tuple if not a pure chain."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one module."""
+
+    path: str
+    rel: str
+    source: str
+    tree: ast.Module
+    config: CheckConfig
+    lines: list[str] = field(default_factory=list)
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.lines = self.source.splitlines()
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self._imports = _ImportMap(self.tree)
+        self._noqa = _parse_noqa(self.lines)
+
+    # -- resolution helpers ---------------------------------------------------
+
+    def resolve_call(self, node: ast.Call) -> str:
+        """Canonical dotted name of the called function ("" if dynamic)."""
+        chain = dotted_chain(node.func)
+        return self._imports.resolve(chain) if chain else ""
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self.parents.get(cur)
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """Nearest enclosing function (or the module)."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return self.tree
+
+    # -- suppression ----------------------------------------------------------
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        codes = self._noqa.get(line)
+        if codes is None:
+            return False
+        return not codes or code in codes
+
+    def finding(self, code: str, message: str, node: ast.AST) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+def _parse_noqa(lines: Sequence[str]) -> dict[int, frozenset[str]]:
+    """Line (1-based) -> suppressed codes (empty frozenset = all codes)."""
+    table: dict[int, frozenset[str]] = {}
+    for i, text in enumerate(lines, start=1):
+        m = _NOQA_RE.search(text)
+        if m is None:
+            continue
+        raw = m.group("codes")
+        if raw is None:
+            table[i] = frozenset()
+        else:
+            table[i] = frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
+    return table
+
+
+# -- driver -------------------------------------------------------------------
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.code] = out.get(f.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    config: CheckConfig | None = None,
+    rel: str | None = None,
+) -> AnalysisResult:
+    """Analyze one module given as a string (the unit-test entry point)."""
+    from .rules import all_rules
+
+    cfg = config or CheckConfig()
+    rel_path = rel if rel is not None else module_rel(path)
+    result = AnalysisResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                code=PARSE_ERROR_CODE,
+                message=f"could not parse module: {exc.msg}",
+            )
+        )
+        return result
+
+    ctx = ModuleContext(path=path, rel=rel_path, source=source, tree=tree, config=cfg)
+    ran: list[str] = []
+    for code, rule in all_rules().items():
+        if not cfg.rule_enabled(code):
+            continue
+        if not path_in_scope(rel_path, cfg.scopes_for(code, rule.default_scopes)):
+            continue
+        ran.append(code)
+        for f in rule.check(ctx):
+            if ctx.is_suppressed(f.code, f.line):
+                result.suppressed += 1
+            else:
+                result.findings.append(f)
+    result.rules_run = tuple(ran)
+    result.findings.sort()
+    return result
+
+
+def analyze_file(path: str | Path, config: CheckConfig | None = None) -> AnalysisResult:
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        res = AnalysisResult(files_checked=1)
+        res.findings.append(
+            Finding(path=str(p), line=0, col=0, code=PARSE_ERROR_CODE, message=str(exc))
+        )
+        return res
+    return analyze_source(source, path=str(p), config=config)
+
+
+def iter_python_files(
+    paths: Iterable[str | Path], config: CheckConfig | None = None
+) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    cfg = config or CheckConfig()
+    seen: set[Path] = set()
+    collected: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for c in candidates:
+            rc = c.resolve()
+            if rc in seen or cfg.path_excluded(str(c)):
+                continue
+            seen.add(rc)
+            collected.append(c)
+    return iter(sorted(collected))
+
+
+def analyze_paths(
+    paths: Iterable[str | Path], config: CheckConfig | None = None
+) -> AnalysisResult:
+    """Analyze every ``.py`` file under ``paths``; aggregate the results."""
+    cfg = config or CheckConfig()
+    total = AnalysisResult()
+    rules_run: set[str] = set()
+    for p in iter_python_files(paths, cfg):
+        res = analyze_file(p, cfg)
+        total.findings.extend(res.findings)
+        total.files_checked += res.files_checked
+        total.suppressed += res.suppressed
+        rules_run.update(res.rules_run)
+    total.rules_run = tuple(sorted(rules_run))
+    total.findings.sort()
+    return total

@@ -1,0 +1,137 @@
+"""``python -m repro.check`` — the analyzer command-line interface.
+
+Exit codes::
+
+    0   no findings
+    1   findings reported (or a file failed to parse)
+    2   usage / configuration error
+
+Typical invocations::
+
+    python -m repro.check src                     # lint the tree
+    python -m repro.check src --format json       # machine-readable
+    python -m repro.check --list-rules            # rule table
+    python -m repro.check src --select RPR001,RPR005
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .analyzer import analyze_paths
+from .config import CheckConfig, find_pyproject, load_config
+from .reporters import render_json, render_text
+from .rules import all_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Determinism & resource-safety static analyzer for the repro tree.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to analyze")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="explicit pyproject.toml ([tool.repro-check] table)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml configuration",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule finding counts to the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _parse_codes(raw: str | None) -> tuple[str, ...] | None:
+    if raw is None:
+        return None
+    return tuple(c.strip().upper() for c in raw.split(",") if c.strip())
+
+
+def _resolve_config(args: argparse.Namespace) -> CheckConfig:
+    if args.no_config:
+        cfg = CheckConfig()
+    elif args.config is not None:
+        path = Path(args.config)
+        if not path.is_file():
+            raise FileNotFoundError(f"config file not found: {path}")
+        cfg = load_config(path)
+    else:
+        start = Path(args.paths[0]) if args.paths else None
+        cfg = load_config(find_pyproject(start))
+    return cfg.merged(select=_parse_codes(args.select), ignore=_parse_codes(args.ignore))
+
+
+def _list_rules() -> str:
+    lines = ["code     name                     scope                summary"]
+    for code, rule in all_rules().items():
+        scope = ",".join(rule.default_scopes) or "(all)"
+        lines.append(f"{code}   {rule.name:<24} {scope:<20} {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (and --list-rules not requested)", file=sys.stderr)
+        return 2
+
+    try:
+        config = _resolve_config(args)
+    except (FileNotFoundError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    unknown = [
+        c
+        for c in (*config.select, *config.ignore)
+        if c not in all_rules() and c != "RPR000"
+    ]
+    if unknown:
+        print(f"error: unknown rule code(s): {', '.join(sorted(set(unknown)))}", file=sys.stderr)
+        return 2
+
+    result = analyze_paths(args.paths, config)
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        print(render_text(result, statistics=args.statistics))
+    return result.exit_code

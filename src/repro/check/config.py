@@ -1,0 +1,158 @@
+"""Configuration for the ``repro.check`` analyzer.
+
+Configuration lives under ``[tool.repro-check]`` in ``pyproject.toml``::
+
+    [tool.repro-check]
+    select = ["RPR001", "RPR004"]      # default: every registered rule
+    ignore = ["RPR003"]
+    exclude = ["*/generated/*"]        # fnmatch patterns on file paths
+
+    [tool.repro-check.scopes]          # per-rule path scopes (overrides
+    RPR003 = ["analysis", "io"]        # the rule's built-in default)
+
+A rule's *scope* is a list of path fragments relative to the ``repro``
+package (``"analysis"`` matches ``src/repro/analysis/...``).  An empty
+scope means the rule applies everywhere.  CLI flags override file
+config; file config overrides rule defaults.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping
+
+__all__ = [
+    "CheckConfig",
+    "DEFAULT_TELEMETRY_NAMES",
+    "find_pyproject",
+    "load_config",
+    "path_in_scope",
+]
+
+#: Call/attribute names RPR006 accepts as "emits telemetry" inside a
+#: broad exception handler.
+DEFAULT_TELEMETRY_NAMES: tuple[str, ...] = (
+    "event",
+    "emit",
+    "error",
+    "exception",
+    "warning",
+    "critical",
+    "log",
+)
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Resolved analyzer configuration.
+
+    ``select`` empty means "all registered rules"; ``ignore`` is applied
+    after ``select``.  ``scopes`` maps a rule code to path fragments that
+    replace the rule's ``default_scopes``.
+    """
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    scopes: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    telemetry_names: tuple[str, ...] = DEFAULT_TELEMETRY_NAMES
+
+    def rule_enabled(self, code: str) -> bool:
+        if self.select and code not in self.select:
+            return False
+        return code not in self.ignore
+
+    def scopes_for(self, code: str, default: tuple[str, ...]) -> tuple[str, ...]:
+        override = self.scopes.get(code)
+        return tuple(override) if override is not None else default
+
+    def path_excluded(self, path: str) -> bool:
+        norm = path.replace("\\", "/")
+        return any(fnmatch.fnmatch(norm, pat) for pat in self.exclude)
+
+    def merged(
+        self,
+        select: tuple[str, ...] | None = None,
+        ignore: tuple[str, ...] | None = None,
+    ) -> "CheckConfig":
+        """CLI-flag overlay: explicit flags replace file-config values."""
+        out = self
+        if select is not None:
+            out = replace(out, select=select)
+        if ignore is not None:
+            out = replace(out, ignore=ignore)
+        return out
+
+
+def path_in_scope(rel: str, scopes: tuple[str, ...]) -> bool:
+    """``rel`` (posix, repro-package-relative) matches any scope fragment.
+
+    A scope matches if it is a leading directory of ``rel``, appears as
+    an interior path component, or fnmatch-matches the whole path.
+    ``"*"`` (or an empty scope tuple at the rule level) matches all.
+    """
+    if not scopes:
+        return True
+    norm = rel.replace("\\", "/")
+    for scope in scopes:
+        s = scope.rstrip("/")
+        if s in ("", "*"):
+            return True
+        if norm.startswith(s + "/") or norm == s or f"/{s}/" in f"/{norm}":
+            return True
+        if fnmatch.fnmatch(norm, scope):
+            return True
+    return False
+
+
+def find_pyproject(start: Path | None = None) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start`` (default: cwd)."""
+    here = (start or Path.cwd()).resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in (here, *here.parents):
+        p = candidate / "pyproject.toml"
+        if p.is_file():
+            return p
+    return None
+
+
+def load_config(pyproject: Path | None = None) -> CheckConfig:
+    """Load ``[tool.repro-check]`` from ``pyproject`` (or the defaults).
+
+    Unknown keys are ignored (forward compatibility); a missing file or
+    missing table yields the default configuration.
+    """
+    if pyproject is None or not pyproject.is_file():
+        return CheckConfig()
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("repro-check", {})
+    if not isinstance(table, dict):
+        return CheckConfig()
+
+    def str_tuple(key: str) -> tuple[str, ...]:
+        raw = table.get(key, ())
+        if isinstance(raw, str):
+            return (raw,)
+        return tuple(str(x) for x in raw)
+
+    scopes_raw = table.get("scopes", {})
+    scopes: dict[str, tuple[str, ...]] = {}
+    if isinstance(scopes_raw, dict):
+        for code, paths in scopes_raw.items():
+            if isinstance(paths, str):
+                scopes[str(code)] = (paths,)
+            else:
+                scopes[str(code)] = tuple(str(p) for p in paths)
+    telemetry = str_tuple("telemetry-names") or DEFAULT_TELEMETRY_NAMES
+    return CheckConfig(
+        select=str_tuple("select"),
+        ignore=str_tuple("ignore"),
+        exclude=str_tuple("exclude"),
+        scopes=scopes,
+        telemetry_names=telemetry,
+    )

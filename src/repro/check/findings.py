@@ -1,0 +1,36 @@
+"""Finding: one rule violation at one source location.
+
+Findings are plain, orderable, hashable records so reporters can sort
+them deterministically (path, line, col, code) and the JSON report is
+byte-stable across runs — a static analyzer that lints for determinism
+had better be deterministic itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: ``path:line:col CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,58 @@
+"""Deterministic text and JSON reporters for analyzer results.
+
+Both formats are byte-stable for a given tree: findings are sorted by
+(path, line, col, code) and JSON keys are emitted in sorted order, so
+the golden-report test (and any diff against a previous CI run) is
+meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .analyzer import AnalysisResult
+
+__all__ = ["render_json", "render_text"]
+
+#: JSON report schema version (bump on breaking shape changes).
+JSON_VERSION = 1
+
+
+def render_text(result: AnalysisResult, statistics: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f.format_text() for f in sorted(result.findings)]
+    if statistics and result.counts:
+        lines.append("")
+        for code, n in result.counts.items():
+            lines.append(f"{code:>8}  x{n}")
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    summary = (
+        f"repro.check: {len(result.findings)} {noun} "
+        f"in {result.files_checked} file(s)"
+    )
+    if result.suppressed:
+        summary += f" ({result.suppressed} suppressed via noqa)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report (stable key order, trailing newline)."""
+    from .rules import all_rules
+
+    rules = all_rules()
+    payload = {
+        "tool": "repro.check",
+        "version": JSON_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "rules_run": sorted(result.rules_run),
+        "counts": result.counts,
+        "findings": [f.to_dict() for f in sorted(result.findings)],
+        "rule_index": {
+            code: {"name": rule.name, "summary": rule.summary}
+            for code, rule in rules.items()
+            if code in result.rules_run
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

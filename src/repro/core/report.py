@@ -30,7 +30,7 @@ def format_bytes(nbytes: float) -> str:
 
 def render_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
     """Plain-text table with aligned columns."""
-    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    cells = [[str(h) for h in headers], *([str(c) for c in row] for row in rows)]
     widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
     lines = []
     if title:

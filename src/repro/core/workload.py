@@ -16,6 +16,27 @@ Profiles come from three sources:
 * :meth:`WorkloadProfile.scaled` — self-similar volume scaling of a
   measured profile (the paper's own "reduces the problem by exactly a
   factor of 512" trick, in reverse).
+
+Seed-flow contract (enforced by ``repro.check`` rule RPR001)
+-----------------------------------------------------------
+Every random draw in this module flows from an **explicit** ``seed``
+argument — there is no hidden module-level RNG and no call to
+``np.random.default_rng()`` without a seed.  The rules:
+
+* public entry points (:func:`synthetic_halo_catalog`,
+  :func:`qcontinuum_like_profile`, :func:`test_run_like_profile`,
+  :meth:`WorkloadProfile.scaled`) accept ``seed`` and construct their
+  own local ``np.random.default_rng(seed)``;
+* derived streams are decorrelated by *deterministic arithmetic* on the
+  caller's seed (e.g. ``test_run_like_profile`` draws owners from
+  ``seed + 1`` so the owner scatter is independent of the mass draw but
+  still a pure function of ``seed``);
+* two calls with equal arguments produce bit-identical profiles — the
+  precondition for the serial-vs-parallel bit-identity tests and for
+  comparing benchmark runs across machines.
+
+Callers that need several profiles must pass distinct seeds explicitly
+rather than relying on global state.
 """
 
 from __future__ import annotations

@@ -145,7 +145,7 @@ class SerialBackend(Backend):
     def sort_by_key(self, keys, *values):
         order = sorted(range(len(keys)), key=lambda i: keys[i])
         order = np.asarray(order, dtype=np.intp)
-        return (np.asarray(keys)[order],) + tuple(np.asarray(v)[order] for v in values)
+        return (np.asarray(keys)[order], *(np.asarray(v)[order] for v in values))
 
     def reduce_by_key(self, keys, values, op):
         keys = np.asarray(keys)
@@ -193,14 +193,25 @@ class VectorBackend(Backend):
         if not arrays:
             raise ValueError("map requires at least one input array")
         # Try whole-array application first (fn written with numpy ufuncs),
-        # falling back to np.vectorize for scalar-only callables.
+        # falling back to np.vectorize for scalar-only callables.  Only the
+        # error classes a scalar-only callable produces when handed whole
+        # arrays trigger the fallback; genuine kernel bugs propagate.
         try:
             out = fn(*arrays)
             out = np.asarray(out)
             if out.shape[:1] == np.asarray(arrays[0]).shape[:1]:
                 return out
-        except Exception:
-            pass
+        except (TypeError, ValueError, AttributeError, IndexError) as exc:
+            from ..obs import get_recorder
+
+            rec = get_recorder()
+            rec.counter("dataparallel_map_fallbacks_total").inc()
+            rec.event(
+                "dataparallel.map_fallback",
+                level="debug",
+                fn=getattr(fn, "__name__", repr(fn)),
+                error=f"{type(exc).__name__}: {exc}",
+            )
         return np.vectorize(fn)(*arrays)
 
     def reduce(self, array, op, init):
@@ -233,7 +244,7 @@ class VectorBackend(Backend):
     def sort_by_key(self, keys, *values):
         keys = np.asarray(keys)
         order = np.argsort(keys, kind="stable")
-        return (keys[order],) + tuple(np.asarray(v)[order] for v in values)
+        return (keys[order], *(np.asarray(v)[order] for v in values))
 
     def reduce_by_key(self, keys, values, op):
         keys = np.asarray(keys)

@@ -37,7 +37,7 @@ import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Protocol
 
 import numpy as np
 
@@ -50,7 +50,7 @@ from ..analysis.centers import (
     mbp_center_astar,
     mbp_center_bruteforce,
 )
-from ..obs import get_recorder
+from ..obs import NullRecorder, TelemetryRecorder, get_recorder
 from .sharedmem import SharedParticleStore
 from .workqueue import HaloWorkQueue, WorkItem
 
@@ -77,7 +77,9 @@ def default_workers() -> int:
 class WorkerError(RuntimeError):
     """A worker process failed; carries the remote traceback."""
 
-    def __init__(self, message: str, worker_id: int | None = None, remote_traceback: str = ""):
+    def __init__(
+        self, message: str, worker_id: int | None = None, remote_traceback: str = ""
+    ) -> None:
         super().__init__(message)
         self.worker_id = worker_id
         self.remote_traceback = remote_traceback
@@ -140,20 +142,30 @@ class ExecReport:
 # ---------------------------------------------------------------------------
 
 
-def _members_of(store: SharedParticleStore, h: int) -> np.ndarray:
+class ParticleArrays(Protocol):
+    """Structural type shared by :class:`SharedParticleStore` and the
+    inline dict-of-arrays store: field name -> particle array."""
+
+    def __getitem__(self, field: str) -> np.ndarray: ...
+
+
+def _members_of(store: ParticleArrays, h: int) -> np.ndarray:
     starts = store["starts"]
     return store["members"][int(starts[h]) : int(starts[h + 1])]
 
 
 def _run_centers_item(
-    item: WorkItem, store: SharedParticleStore, task: Mapping[str, Any], cache: dict
-) -> list[tuple]:
+    item: WorkItem,
+    store: ParticleArrays,
+    task: Mapping[str, Any],
+    cache: dict[int, np.ndarray],
+) -> list[tuple[Any, ...]]:
     """Center finding: whole halos or a row slab of a giant halo."""
     pos = store["pos"]
     mass = task["mass"]
     softening = task["softening"]
     method = task["method"]
-    out: list[tuple] = []
+    out: list[tuple[Any, ...]] = []
     if item.kind == "slab":
         h = item.halo_indices[0]
         hpos = cache.get(h)
@@ -198,8 +210,11 @@ def _run_centers_item(
 
 
 def _run_subhalos_item(
-    item: WorkItem, store: SharedParticleStore, task: Mapping[str, Any], cache: dict
-) -> list[tuple]:
+    item: WorkItem,
+    store: ParticleArrays,
+    task: Mapping[str, Any],
+    cache: dict[int, np.ndarray],
+) -> list[tuple[Any, ...]]:
     """Subhalo decomposition of whole parent halos (never split)."""
     from ..analysis.subhalos import find_subhalos
 
@@ -207,7 +222,7 @@ def _run_subhalos_item(
     vel = store["vel"]
     box = task.get("box")
     vel_scale = task.get("vel_scale", 1.0)
-    out: list[tuple] = []
+    out: list[tuple[Any, ...]] = []
     for h in item.halo_indices:
         m = _members_of(store, h)
         t0 = time.perf_counter()
@@ -233,13 +248,16 @@ def _run_subhalos_item(
 
 
 def _run_explode_item(
-    item: WorkItem, store: SharedParticleStore, task: Mapping[str, Any], cache: dict
-) -> list[tuple]:
+    item: WorkItem,
+    store: ParticleArrays,
+    task: Mapping[str, Any],
+    cache: dict[int, np.ndarray],
+) -> list[tuple[Any, ...]]:
     """Crash-isolation test hook: always raises inside the worker."""
     raise RuntimeError(task.get("message", "exec test worker explosion"))
 
 
-_TASK_RUNNERS: dict[str, Callable[..., list[tuple]]] = {
+_TASK_RUNNERS: dict[str, Callable[..., list[tuple[Any, ...]]]] = {
     "centers": _run_centers_item,
     "subhalos": _run_subhalos_item,
     "explode": _run_explode_item,
@@ -253,18 +271,18 @@ _TASK_RUNNERS: dict[str, Callable[..., list[tuple]]] = {
 
 def _worker_main(
     worker_id: int,
-    spec: dict,
+    spec: dict[str, Any],
     items: list[WorkItem],
     seed_ids: list[int],
     pool_ids: list[int],
-    cursor,
-    abort,
-    result_q,
-    task: dict,
+    cursor: Any,  # multiprocessing.Value("l") — ctx-specific Synchronized[int]
+    abort: Any,  # multiprocessing Event from the engine's ctx
+    result_q: Any,  # multiprocessing Queue from the engine's ctx
+    task: dict[str, Any],
 ) -> None:
     store = SharedParticleStore.attach(spec)
     runner = _TASK_RUNNERS[task["task"]]
-    cache: dict = {}
+    cache: dict[int, np.ndarray] = {}
     busy = 0.0
     steals = 0
     t_prev = time.perf_counter()
@@ -293,7 +311,9 @@ def _worker_main(
             steals += 1
             run_one(pool_ids[nxt], stolen=True)
         result_q.put(("done", worker_id, busy, steals))
-    except BaseException:
+    except BaseException:  # repro: noqa[RPR006] - traceback is shipped to the
+        # parent over result_q, which re-raises it as WorkerError (crash
+        # isolation): the failure is loudly observable, never swallowed.
         result_q.put(("error", worker_id, traceback.format_exc()))
     finally:
         store.close()
@@ -329,7 +349,7 @@ class ExecutionEngine:
         chunk_factor: float = 16.0,
         min_split_rows: int = 256,
         result_timeout: float = 600.0,
-    ):
+    ) -> None:
         self.workers = int(workers) if workers else default_workers()
         self.start_method = start_method
         self.split_factor = split_factor
@@ -359,8 +379,8 @@ class ExecutionEngine:
         self,
         arrays: Mapping[str, np.ndarray],
         work: HaloWorkQueue,
-        task: dict,
-    ) -> tuple[list[tuple[int, list[tuple]]], ExecReport]:
+        task: dict[str, Any],
+    ) -> tuple[list[tuple[int, list[tuple[Any, ...]]]], ExecReport]:
         """Execute a work queue; returns ``(item payloads, report)``.
 
         ``arrays`` must contain the shared inputs the task runner needs
@@ -391,12 +411,12 @@ class ExecutionEngine:
     # -- inline (single worker, no processes) ---------------------------------
 
     def _run_inline(
-        self, arrays: Mapping[str, np.ndarray], work: HaloWorkQueue, task: dict
-    ) -> tuple[list[tuple[int, list[tuple]]], ExecReport]:
+        self, arrays: Mapping[str, np.ndarray], work: HaloWorkQueue, task: dict[str, Any]
+    ) -> tuple[list[tuple[int, list[tuple[Any, ...]]]], ExecReport]:
         runner = _TASK_RUNNERS[task["task"]]
         store = _InlineStore(arrays)
-        cache: dict = {}
-        payloads: list[tuple[int, list[tuple]]] = []
+        cache: dict[int, np.ndarray] = {}
+        payloads: list[tuple[int, list[tuple[Any, ...]]]] = []
         log: list[ItemRecord] = []
         busy = 0.0
         order = [i for ids in work.seeds for i in ids] + list(work.pool)
@@ -430,14 +450,14 @@ class ExecutionEngine:
         self,
         arrays: Mapping[str, np.ndarray],
         work: HaloWorkQueue,
-        task: dict,
+        task: dict[str, Any],
         n_workers: int,
-    ) -> tuple[list[tuple[int, list[tuple]]], ExecReport]:
+    ) -> tuple[list[tuple[int, list[tuple[Any, ...]]]], ExecReport]:
         ctx = multiprocessing.get_context(self.start_method)
         store = SharedParticleStore.create(**arrays)
-        procs: list[multiprocessing.Process] = []
+        procs: list[Any] = []
         error: WorkerError | None = None
-        payloads: list[tuple[int, list[tuple]]] = []
+        payloads: list[tuple[int, list[tuple[Any, ...]]]] = []
         log: list[ItemRecord] = []
         busy = [0.0] * n_workers
         steals = [0] * n_workers
@@ -552,7 +572,12 @@ class ExecutionEngine:
 
     # -- telemetry ------------------------------------------------------------
 
-    def _record_telemetry(self, rec, report: ExecReport, task: dict) -> None:
+    def _record_telemetry(
+        self,
+        rec: NullRecorder | TelemetryRecorder,
+        report: ExecReport,
+        task: dict[str, Any],
+    ) -> None:
         rec.gauge(
             "exec_load_imbalance_ratio",
             help="max/mean worker busy seconds for the last engine run (Figure 4 metric)",
@@ -597,7 +622,7 @@ class ExecutionEngine:
 class _InlineStore:
     """Dict-of-arrays stand-in for :class:`SharedParticleStore` (inline path)."""
 
-    def __init__(self, arrays: Mapping[str, np.ndarray]):
+    def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
         self._arrays = arrays
 
     def __getitem__(self, field: str) -> np.ndarray:

@@ -29,6 +29,9 @@ from typing import Any, Iterator, Mapping
 
 import numpy as np
 
+from ..check.sanitize import track_store, untrack_store
+from ..obs import get_recorder
+
 __all__ = ["SharedParticleStore"]
 
 
@@ -60,7 +63,7 @@ class SharedParticleStore:
         segments: dict[str, shared_memory.SharedMemory],
         spec: dict[str, tuple[str, tuple[int, ...], str]],
         owner: bool,
-    ):
+    ) -> None:
         self._segments = segments
         self._spec = spec
         self._owner = owner
@@ -83,15 +86,27 @@ class SharedParticleStore:
                 nbytes = max(int(arr.nbytes), 1)  # zero-size arrays need 1 byte
                 shm = shared_memory.SharedMemory(create=True, size=nbytes)
                 segments[field] = shm
-                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view: np.ndarray = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
                 view[...] = arr
                 spec[field] = (shm.name, tuple(arr.shape), arr.dtype.str)
-        except Exception:
+        except (OSError, MemoryError, ValueError) as exc:
+            # OSError/MemoryError: segment allocation failed (e.g. /dev/shm
+            # full); ValueError: un-mappable array shape/dtype.  Release the
+            # segments already created, report, and re-raise — a half-built
+            # store must never escape.
+            get_recorder().event(
+                "sharedmem.create_failed",
+                level="error",
+                error=f"{type(exc).__name__}: {exc}",
+                segments_rolled_back=len(segments),
+            )
             for shm in segments.values():
                 shm.close()
                 shm.unlink()
             raise
-        return cls(segments, spec, owner=True)
+        store = cls(segments, spec, owner=True)
+        track_store(store)  # REPRO_SANITIZE=1 leak tracking (no-op otherwise)
+        return store
 
     @classmethod
     def attach(
@@ -163,6 +178,7 @@ class SharedParticleStore:
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+        untrack_store(self)  # segments are gone: clear the leak-tracker entry
 
     def __enter__(self) -> "SharedParticleStore":
         return self

@@ -58,7 +58,7 @@ class Job:
         """Seconds spent waiting after submission (and dependencies)."""
         if self.start_time is None:
             raise RuntimeError(f"job {self.name!r} has not been scheduled")
-        ready = max([self.submit_time] + [d.end_time or 0.0 for d in self.after])
+        ready = max([self.submit_time, *(d.end_time or 0.0 for d in self.after)])
         return self.start_time - ready
 
     @property

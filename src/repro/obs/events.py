@@ -186,7 +186,7 @@ def _json_default(obj: Any) -> Any:
         if hasattr(obj, attr):
             try:
                 return getattr(obj, attr)()
-            except Exception:  # pragma: no cover - defensive
+            except (TypeError, ValueError):  # pragma: no cover - non-scalar .item()
                 pass
     return repr(obj)
 

@@ -141,7 +141,7 @@ class RunTelemetry:
         """Render the per-run phase breakdown (cf. paper Table 4)."""
         stats = self.phase_stats()
         wall = self.wall_seconds
-        order = [p for _, p in PHASE_RULES] + [OTHER_PHASE]
+        order = [*(p for _, p in PHASE_RULES), OTHER_PHASE]
         rows: list[list[str]] = []
         for phase in order:
             ps = stats.get(phase)
@@ -215,7 +215,7 @@ class RunTelemetry:
 
 def _render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
     """Aligned plain-text table (kept local: obs has no repro deps)."""
-    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    cells = [[str(h) for h in headers], *([str(c) for c in row] for row in rows)]
     widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
     lines: list[str] = []
     if title:

@@ -346,7 +346,7 @@ def _chrome_default(obj: Any) -> Any:
     if hasattr(obj, "item"):
         try:
             return obj.item()
-        except Exception:  # pragma: no cover - defensive
+        except (TypeError, ValueError):  # pragma: no cover - non-scalar .item()
             pass
     return repr(obj)
 

@@ -62,7 +62,7 @@ class _Mailbox:
     pending: list[tuple[int, int, Any]] = field(default_factory=list)
 
     def match(self, source: int, tag: int, timeout: float) -> tuple[int, int, Any]:
-        for i, (src, tg, payload) in enumerate(self.pending):
+        for i, (src, tg, _payload) in enumerate(self.pending):
             if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, tg)):
                 return self.pending.pop(i)
         while True:
@@ -278,7 +278,8 @@ def run_spmd(
         comm = Communicator(world, rank)
         try:
             results[rank] = fn(comm, *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - propagate to caller
+        except BaseException as exc:  # repro: noqa[RPR006] - collected and
+            # re-raised by spmd() as SpmdError after the world aborts
             with lock:
                 errors.append((rank, exc))
             world.abort.set()

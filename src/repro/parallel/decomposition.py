@@ -35,7 +35,7 @@ def factor_dims(nranks: int, ndim: int = 3) -> tuple[int, ...]:
     def rec(remaining: int, slots: int, prefix: tuple[int, ...]) -> None:
         nonlocal best, best_score
         if slots == 1:
-            dims = tuple(sorted(prefix + (remaining,), reverse=True))
+            dims = tuple(sorted((*prefix, remaining), reverse=True))
             score = (dims[0] - dims[-1], dims)
             if best_score is None or score < best_score:
                 best, best_score = dims, score
@@ -45,7 +45,7 @@ def factor_dims(nranks: int, ndim: int = 3) -> tuple[int, ...]:
             if f > remaining:
                 break
             if remaining % f == 0:
-                rec(remaining // f, slots - 1, prefix + (f,))
+                rec(remaining // f, slots - 1, (*prefix, f))
             f += 1
 
     rec(nranks, ndim, ())

@@ -6,6 +6,19 @@ perturbation theory, the Zel'dovich approximation), and displaces a
 uniform particle lattice.  Velocities (code momenta) follow from the
 linear growth rate, consistent with the PM integrator's equations of
 motion in :mod:`repro.sim.hacc`.
+
+Seed-flow contract (enforced by ``repro.check`` rule RPR001)
+-----------------------------------------------------------
+The only random draw in the IC pipeline is the white-noise field in
+:func:`gaussian_field`, and its ``seed`` is threaded explicitly from
+:class:`ICConfig.seed` through :func:`make_initial_conditions` — never
+from hidden global RNG state.  Identical ``ICConfig`` values therefore
+produce bit-identical particle loads, which is what lets every
+downstream analysis (FOF -> centers -> SO -> subhalos, serial or
+work-stealing parallel) be regression-compared at the bit level.
+Phase-preserving refinement is part of the same contract: the
+white-noise convolution keeps mode phases fixed when the power spectrum
+changes, so seeds stay comparable across cosmology tweaks.
 """
 
 from __future__ import annotations

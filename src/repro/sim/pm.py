@@ -137,7 +137,7 @@ def gradient_spectral(field: np.ndarray) -> np.ndarray:
     ng = field.shape[0]
     fk = np.fft.rfftn(field)
     kx, ky, kz = _k_grid(ng)
-    out = np.empty((3,) + field.shape)
+    out = np.empty((3, *field.shape))
     for axis, k in enumerate((kx, ky, kz)):
         out[axis] = np.fft.irfftn(1j * k * fk, s=field.shape, axes=(0, 1, 2))
     return out

@@ -30,7 +30,7 @@ def blob_points(rng):
     )
     blobs = [rng.normal(c, 0.3, (250, 3)) for c in centers]
     background = rng.uniform(0, 20, (1500, 3))
-    pos = np.mod(np.concatenate(blobs + [background]), 20.0)
+    pos = np.mod(np.concatenate([*blobs, background]), 20.0)
     return pos
 
 

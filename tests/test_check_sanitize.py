@@ -1,0 +1,246 @@
+"""Runtime sanitizer tests: guard_kernel, shm leak tracker, determinism.
+
+Everything is gated on ``REPRO_SANITIZE``; the fixtures flip it through
+``monkeypatch`` so tests are hermetic regardless of the outer env.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.sanitize import (
+    DeterminismError,
+    SanitizerError,
+    check_determinism,
+    guard_kernel,
+    leak_report,
+    output_hash,
+    reset_leak_tracker,
+    sanitize_enabled,
+    track_store,
+    untrack_store,
+)
+
+
+@pytest.fixture
+def sanitize_on(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    reset_leak_tracker()
+    yield
+    reset_leak_tracker()
+
+
+@pytest.fixture
+def sanitize_off(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+
+
+# -- gating --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("value", "expected"),
+    [("1", True), ("true", True), ("YES", True), ("on", True), ("0", False), ("", False)],
+)
+def test_sanitize_enabled_parsing(monkeypatch, value, expected):
+    monkeypatch.setenv("REPRO_SANITIZE", value)
+    assert sanitize_enabled() is expected
+
+
+# -- guard_kernel --------------------------------------------------------------
+
+
+@guard_kernel
+def _nan_kernel(x: np.ndarray) -> np.ndarray:
+    y = np.array(x, dtype=float)
+    y[0] = np.nan
+    return y
+
+
+@guard_kernel(name="drifty")
+def _drift_kernel(x: np.ndarray) -> np.ndarray:
+    return x.astype(np.float32)
+
+
+@guard_kernel
+def _good_kernel(x: np.ndarray) -> np.ndarray:
+    return x * 2.0
+
+
+def test_guard_trips_on_nan(sanitize_on):
+    with pytest.raises(SanitizerError, match="non-finite"):
+        _nan_kernel(np.ones(4))
+
+
+def test_guard_trips_on_inf_scalar(sanitize_on):
+    @guard_kernel
+    def inf_scalar(x: np.ndarray) -> float:
+        return float(np.inf)
+
+    with pytest.raises(SanitizerError, match="non-finite"):
+        inf_scalar(np.ones(2))
+
+
+def test_guard_trips_on_dtype_drift(sanitize_on):
+    with pytest.raises(SanitizerError, match="drift"):
+        _drift_kernel(np.ones(4, dtype=np.float64))
+
+
+def test_guard_passes_clean_kernel(sanitize_on):
+    out = _good_kernel(np.ones(4))
+    np.testing.assert_array_equal(out, 2.0 * np.ones(4))
+
+
+def test_guard_noop_when_disabled(sanitize_off):
+    out = _nan_kernel(np.ones(4))  # no raise: sanitizer off
+    assert np.isnan(out[0])
+    out32 = _drift_kernel(np.ones(4))
+    assert out32.dtype == np.float32
+
+
+def test_guard_walks_dataclass_outputs(sanitize_on):
+    from repro.analysis.so import SOResult
+
+    @guard_kernel
+    def wrapped(x: np.ndarray) -> SOResult:
+        return SOResult(radius=float(np.nan), mass=1.0, count=1, converged=True)
+
+    with pytest.raises(SanitizerError, match="non-finite"):
+        wrapped(np.ones(3))
+
+
+def test_guarded_so_mass_works(sanitize_on):
+    from repro.analysis.so import so_mass
+
+    rng = np.random.default_rng(7)
+    pos = rng.normal(scale=0.05, size=(400, 3)) + 0.5
+    res = so_mass(pos, np.array([0.5, 0.5, 0.5]), particle_mass=1.0, reference_density=1.0)
+    assert res.mass > 0
+
+
+# -- shared-memory leak tracker ------------------------------------------------
+
+
+def test_leak_tracker_reports_unreleased_store(sanitize_on):
+    from repro.exec.sharedmem import SharedParticleStore
+
+    store = SharedParticleStore.create(pos=np.ones((8, 3)), starts=np.arange(3, dtype=np.int64))
+    try:
+        leaks = leak_report()
+        assert len(leaks) == 1
+        assert sorted(leaks[0]["fields"]) == ["pos", "starts"]
+    finally:
+        store.unlink()
+    assert leak_report() == []
+
+
+def test_leak_tracker_manual_api(sanitize_on):
+    class FakeStore:
+        fields = ["pos"]
+        spec = {"pos": ("seg", (4,), "<f8")}
+        nbytes = 32
+
+    s = FakeStore()
+    track_store(s)
+    assert leak_report() == [{"fields": ["pos"], "segments": ["seg"], "nbytes": 32}]
+    untrack_store(s)
+    assert leak_report() == []
+
+
+def test_leak_tracker_noop_when_disabled(sanitize_off):
+    from repro.exec.sharedmem import SharedParticleStore
+
+    reset_leak_tracker()
+    store = SharedParticleStore.create(pos=np.ones((4, 3)))
+    try:
+        assert leak_report() == []
+    finally:
+        store.unlink()
+
+
+def test_atexit_report_prints(sanitize_on, capsys):
+    from repro.check.sanitize import _atexit_report
+
+    class FakeStore:
+        fields = ["vel"]
+        spec = {"vel": ("segX", (4,), "<f8")}
+        nbytes = 99
+
+    track_store(FakeStore())
+    _atexit_report()
+    err = capsys.readouterr().err
+    assert "never" in err and "RPR005" in err and "segX" in err
+    reset_leak_tracker()
+    _atexit_report()
+    assert capsys.readouterr().err == ""
+
+
+# -- output hashing ------------------------------------------------------------
+
+
+def test_output_hash_stable_and_ulp_sensitive():
+    a = np.linspace(0.0, 1.0, 16)
+    assert output_hash(a) == output_hash(a.copy())
+    b = a.copy()
+    b[3] = np.nextafter(b[3], 2.0)  # one ulp
+    assert output_hash(a) != output_hash(b)
+
+
+def test_output_hash_dict_order_insensitive():
+    assert output_hash({"a": 1, "b": 2}) == output_hash({"b": 2, "a": 1})
+
+
+def test_output_hash_dataclass():
+    from repro.analysis.so import SOResult
+
+    x = SOResult(radius=1.0, mass=2.0, count=3, converged=True)
+    y = SOResult(radius=1.0, mass=2.0, count=3, converged=True)
+    z = SOResult(radius=1.0, mass=2.5, count=3, converged=True)
+    assert output_hash(x) == output_hash(y)
+    assert output_hash(x) != output_hash(z)
+
+
+# -- determinism harness -------------------------------------------------------
+
+
+def test_check_determinism_passes_pure_kernel():
+    def pure(seed: int) -> np.ndarray:
+        return np.random.default_rng(seed).standard_normal(32)
+
+    report = check_determinism(pure, 42, runs=3)
+    assert report.ok and report.distinct == 1 and report.runs == 3
+
+
+def test_check_determinism_catches_order_dependent_sum():
+    calls = {"n": 0}
+
+    def order_dependent() -> float:
+        # injected bug: float32 accumulation whose order flips per call —
+        # catastrophic cancellation guarantees different rounded sums
+        calls["n"] += 1
+        vals = np.array([1e8, -1e8, 1.0], dtype=np.float32)
+        if calls["n"] % 2 == 0:
+            vals = vals[::-1]
+        acc = np.float32(0.0)
+        for v in vals:
+            acc = np.float32(acc + v)
+        return float(acc)
+
+    with pytest.raises(DeterminismError, match="distinct output"):
+        check_determinism(order_dependent)
+
+
+def test_check_determinism_catches_unseeded_rng():
+    def noisy() -> np.ndarray:
+        rng = np.random.default_rng()  # repro: noqa[RPR001] - deliberate bug
+        return rng.standard_normal(8)
+
+    report = check_determinism(noisy, raise_on_mismatch=False, runs=4)
+    assert not report.ok
+    assert report.distinct > 1
+
+
+def test_check_determinism_requires_two_runs():
+    with pytest.raises(ValueError):
+        check_determinism(lambda: 1, runs=1)

@@ -68,7 +68,7 @@ def test_table4_includes_phases(small_profile):
 
 
 def test_figure_histogram_log_bars():
-    values = np.asarray([1.0] * 100 + [5.0])
+    values = np.asarray([*([1.0] * 100), 5.0])
     edges = np.asarray([0.0, 2.0, 10.0])
     out = figure_histogram(values, edges, label="demo")
     lines = out.splitlines()

@@ -46,7 +46,7 @@ from repro.obs.report import RunTelemetry
 def skewed_catalog():
     """One giant halo + many small ones + fluff, shuffled."""
     rng = np.random.default_rng(1234)
-    sizes = [700] + list(rng.integers(30, 90, size=24))
+    sizes = [700, *rng.integers(30, 90, size=24)]
     pos_list, labels_list = [], []
     for i, s in enumerate(sizes):
         c = rng.uniform(5, 95, 3)
@@ -159,7 +159,7 @@ def test_workqueue_covers_every_halo_exactly():
 
 
 def test_workqueue_splits_dominant_halo():
-    counts = np.asarray([100_000] + [50] * 40)
+    counts = np.asarray([100_000, *([50] * 40)])
     q = HaloWorkQueue.build(counts, workers=4, min_split_rows=256)
     assert q.n_split_halos == 1
     slabs = [it for it in q.items if it.kind == "slab"]
@@ -170,7 +170,7 @@ def test_workqueue_splits_dominant_halo():
 
 
 def test_workqueue_not_splittable():
-    counts = np.asarray([100_000] + [50] * 40)
+    counts = np.asarray([100_000, *([50] * 40)])
     q = HaloWorkQueue.build(counts, workers=4, splittable=False)
     assert q.n_split_halos == 0
     assert all(it.kind == "halos" for it in q.items)

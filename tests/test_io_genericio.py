@@ -17,7 +17,7 @@ from repro.io import (
 
 def _blocks(rng, n_blocks=3):
     out = []
-    for b in range(n_blocks):
+    for _ in range(n_blocks):
         n = rng.integers(0, 50)
         out.append(
             {

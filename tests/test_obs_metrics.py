@@ -65,7 +65,7 @@ def test_histogram_bucketing_is_cumulative_inclusive():
 
 def test_histogram_quantile_upper_bound():
     h = Histogram("lat", buckets=[1, 2, 4, 8])
-    for v in [0.5] * 50 + [3.0] * 49 + [100.0]:
+    for v in [*([0.5] * 50), *([3.0] * 49), 100.0]:
         h.observe(v)
     assert h.quantile(0.5) == 1
     assert h.quantile(0.99) == 4

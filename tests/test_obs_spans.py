@@ -78,7 +78,7 @@ def test_threads_get_independent_stacks():
 
     def worker(tid: int) -> None:
         barrier.wait()
-        for i in range(200):
+        for _ in range(200):
             with tr.span(f"outer-{tid}") as outer:
                 with tr.span(f"inner-{tid}") as inner:
                     if inner.parent_id != outer.span_id:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.parallel import (
     CartesianDecomposition,
+    SpmdError,
     alltoallv_arrays,
     redistribute_arrays,
     run_spmd,
@@ -84,7 +85,7 @@ def test_length_mismatch_raises():
             comm, decomp, {"pos": np.zeros((3, 3)), "tag": np.zeros(2)}
         )
 
-    with pytest.raises(Exception):
+    with pytest.raises(SpmdError):
         run_spmd(2, prog, timeout=3.0)
 
 
@@ -106,5 +107,5 @@ def test_alltoallv_requires_one_chunk_per_rank():
     def prog(comm):
         alltoallv_arrays(comm, [{}])  # wrong length
 
-    with pytest.raises(Exception):
+    with pytest.raises(SpmdError):
         run_spmd(2, prog, timeout=3.0)
