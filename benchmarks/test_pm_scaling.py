@@ -1,0 +1,172 @@
+"""PM force-engine scaling: fused :class:`PMSolver` vs the reference chain.
+
+Times one full PM force evaluation (CIC deposit → Poisson → gradient →
+gather) at ``ng ∈ {32, 64}`` with ``n = ng³`` particles for both
+engines:
+
+* **reference** — the original function-at-a-time pipeline in
+  :mod:`repro.sim.pm`: 6 full-mesh FFTs (φ materialized, then re-FFT'd)
+  and an ``np.add.at`` CIC scatter;
+* **fused** — :class:`repro.sim.pmsolver.PMSolver`: Poisson and
+  gradient combined in k-space (4 FFTs, φ never built), ``bincount``
+  scatter, and one CIC geometry shared by scatter and gather.
+
+Every timed pair is also cross-checked numerically (rtol 1e-10), so the
+speedup is measured on verified-identical physics.  Results land in
+``BENCH_pm.json`` at the repo root (uploaded as a CI artifact) plus a
+rendered text table under ``benchmarks/results/``.
+
+Speedup gating
+--------------
+The fusion win is algorithmic (fewer transforms + a faster scatter), so
+unlike the exec benchmark it does not need multiple cores.  The ≥2x
+gate at ``ng=64`` is enforced whenever the host has ≥2 cores or
+``PM_BENCH_REQUIRE_SPEEDUP=1`` (as CI sets).  ``PM_BENCH_MIN_SPEEDUP``
+overrides the threshold.
+"""
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.sim.pm import (
+    cic_deposit,
+    cic_interpolate,
+    gradient_spectral,
+    solve_poisson,
+)
+from repro.sim.pmsolver import PMSolver
+
+from conftest import save_result
+
+BENCH_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_pm.json")
+)
+
+#: FFT counts per force evaluation, by construction.
+FFTS_REFERENCE = 6  # rfftn+irfftn (Poisson) + rfftn+3 irfftn (gradient)
+FFTS_FUSED = 4  # rfftn + 3 irfftn, φ never materialized
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _reference_eval(pos, ng, factor):
+    delta = cic_deposit(pos, ng)
+    phi = solve_poisson(delta, factor=factor)
+    return -cic_interpolate(gradient_spectral(phi), pos)
+
+
+def _time_best(fn, repeats):
+    best, out = np.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_pm_scaling(bench_rng):
+    cpu_count = _cpu_count()
+    factor = 1.5
+    meshes = {}
+    for ng in (32, 64):
+        pos = bench_rng.uniform(0, ng, (ng**3, 3))
+        solver = PMSolver(ng)
+        solver.accelerations(pos, factor)  # warm-up: scratch + FFT plans
+        ffts_before = solver.fft_count
+
+        fused_seconds, fused_acc = _time_best(
+            lambda solver=solver, pos=pos: solver.accelerations(pos, factor),
+            repeats=3,
+        )
+        fused_ffts = (solver.fft_count - ffts_before) // 3
+        ref_seconds, ref_acc = _time_best(
+            lambda pos=pos, ng=ng: _reference_eval(pos, ng, factor), repeats=2
+        )
+
+        # the speedup is only meaningful on verified-identical physics
+        scale = float(np.abs(ref_acc).max())
+        np.testing.assert_allclose(
+            fused_acc, ref_acc, rtol=1e-10, atol=1e-12 * scale
+        )
+        assert fused_ffts == FFTS_FUSED
+
+        meshes[ng] = {
+            "n_particles": int(ng**3),
+            "reference_seconds": ref_seconds,
+            "fused_seconds": fused_seconds,
+            "speedup": ref_seconds / fused_seconds if fused_seconds > 0 else 0.0,
+            "ffts_per_eval": {"reference": FFTS_REFERENCE, "fused": fused_ffts},
+            "verified_rtol": 1e-10,
+        }
+
+    require = cpu_count >= 2 or os.environ.get("PM_BENCH_REQUIRE_SPEEDUP") == "1"
+    min_speedup = float(os.environ.get("PM_BENCH_MIN_SPEEDUP", "2.0"))
+
+    payload = {
+        "benchmark": "pm_scaling",
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "cpu_count": cpu_count,
+        "fft_workers": PMSolver(32).workers,
+        "default_backend": "fused",
+        "meshes": {str(ng): m for ng, m in meshes.items()},
+        "speedup_gate": {
+            "enforced": require,
+            "min_speedup_at_ng64": min_speedup,
+            "passed": (not require) or meshes[64]["speedup"] >= min_speedup,
+        },
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+
+    lines = [
+        f"PM force evaluation: fused 4-FFT engine vs 6-FFT reference "
+        f"({cpu_count} cores, {payload['fft_workers']} FFT workers)",
+    ]
+    for ng, m in meshes.items():
+        lines.append(
+            f"  ng={ng} ({m['n_particles']} particles): "
+            f"reference {m['reference_seconds'] * 1e3:7.1f} ms  "
+            f"fused {m['fused_seconds'] * 1e3:7.1f} ms  "
+            f"speedup {m['speedup']:.2f}x  "
+            f"FFTs {m['ffts_per_eval']['reference']}->{m['ffts_per_eval']['fused']}"
+        )
+    gate = payload["speedup_gate"]
+    lines.append(
+        f"  gate: enforced={gate['enforced']} "
+        f"(min {min_speedup:.2f}x @ ng=64) passed={gate['passed']}"
+    )
+    save_result("pm_scaling", "\n".join(lines))
+
+    if require:
+        assert meshes[64]["speedup"] >= min_speedup, (
+            f"fused speedup {meshes[64]['speedup']:.2f}x at ng=64 below the "
+            f"{min_speedup:.2f}x gate (cores={cpu_count})"
+        )
+
+
+def test_pm_deposit_scaling(bench_rng):
+    """The scatter alone: flattened ``bincount`` vs ``np.add.at``."""
+    ng = 64
+    pos = bench_rng.uniform(0, ng, (ng**3, 3))
+    solver = PMSolver(ng)
+    solver.deposit(pos)  # warm-up
+    fused_seconds, fused = _time_best(lambda: solver.deposit(pos), repeats=3)
+    ref_seconds, ref = _time_best(lambda: cic_deposit(pos, ng), repeats=2)
+    np.testing.assert_allclose(fused, ref, rtol=1e-10, atol=1e-12)
+    speedup = ref_seconds / fused_seconds if fused_seconds > 0 else 0.0
+    save_result(
+        "pm_deposit_scaling",
+        f"CIC deposit at ng=64, {ng**3} particles:\n"
+        f"  np.add.at  {ref_seconds * 1e3:7.1f} ms\n"
+        f"  bincount   {fused_seconds * 1e3:7.1f} ms  ({speedup:.2f}x)",
+    )
+    assert speedup > 1.0

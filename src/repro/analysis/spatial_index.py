@@ -1,0 +1,138 @@
+"""Uniform periodic cell index for neighborhood queries.
+
+The shared per-step spatial structure of the in-situ chain: a
+cell-linked list over the full particle set, built once per analysis
+step (see :class:`repro.insitu.spatial.SharedStepIndex`) and queried by
+any stage that needs "particles near a point" — most prominently the
+spherical-overdensity mass estimator, whose per-center candidate set
+shrinks from the whole box to a neighborhood sphere.
+
+The structure is fully vectorized: particles are binned to flat cell
+ids, a stable argsort groups them, and prefix sums give O(1) per-cell
+member slices.  Radius queries gather the member ranges of the covered
+cell block with a repeat/arange expansion (no Python-level loop over
+particles) and exact-filter by periodic distance.  All outputs are
+sorted ascending, so downstream float reductions are order-stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PeriodicCellIndex"]
+
+
+class PeriodicCellIndex:
+    """Cell-linked list over points in a periodic cubic box.
+
+    Parameters
+    ----------
+    pos:
+        ``(n, 3)`` positions; wrapped into ``[0, box)`` internally.
+    box:
+        Periodic box side.
+    cell_size:
+        Target cell edge.  The actual edge is ``box / ncell`` with
+        ``ncell = floor(box / cell_size)`` (≥ 1), so cells tile the box
+        exactly.
+
+    Attributes
+    ----------
+    ncell:
+        Cells per dimension.
+    cell_edge:
+        Actual cell edge length.
+    """
+
+    def __init__(self, pos: np.ndarray, box: float, cell_size: float):
+        pos = np.atleast_2d(np.asarray(pos, dtype=np.float64))
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError("pos must have shape (n, 3)")
+        if box <= 0:
+            raise ValueError("box must be positive")
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.box = float(box)
+        self.pos = np.mod(pos, self.box)
+        self.n = len(pos)
+        self.ncell = max(int(np.floor(self.box / float(cell_size))), 1)
+        self.cell_edge = self.box / self.ncell
+
+        coords = np.minimum(
+            (self.pos / self.cell_edge).astype(np.intp), self.ncell - 1
+        )
+        nc = self.ncell
+        cell_ids = (coords[:, 0] * nc + coords[:, 1]) * nc + coords[:, 2]
+        #: stable permutation grouping particles by cell
+        self.order = np.argsort(cell_ids, kind="stable")
+        counts = np.bincount(cell_ids, minlength=nc**3)
+        #: prefix sums: members of cell ``c`` are
+        #: ``order[start[c]:start[c + 1]]``
+        self.start = np.concatenate(
+            [np.zeros(1, dtype=np.intp), np.cumsum(counts).astype(np.intp)]
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def cell_members(self, cell_id: int) -> np.ndarray:
+        """Point indices binned into flat cell ``cell_id``."""
+        return self.order[self.start[cell_id] : self.start[cell_id + 1]]
+
+    def _axis_range(self, lo_f: float, hi_f: float) -> np.ndarray:
+        """Wrapped cell coordinates covering ``[lo_f, hi_f]`` on one axis."""
+        nc = self.ncell
+        lo = int(np.floor(lo_f / self.cell_edge))
+        hi = int(np.floor(hi_f / self.cell_edge))
+        if hi - lo + 1 >= nc:
+            return np.arange(nc, dtype=np.intp)
+        return np.mod(np.arange(lo, hi + 1, dtype=np.intp), nc)
+
+    def _gather_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Concatenate the member slices of many cells (vectorized)."""
+        cnt = self.start[cells + 1] - self.start[cells]
+        total = int(cnt.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.intp)
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.intp), np.cumsum(cnt)[:-1].astype(np.intp)]
+        )
+        local = np.arange(total, dtype=np.intp) - np.repeat(offsets, cnt)
+        return self.order[np.repeat(self.start[cells], cnt) + local]
+
+    def query_radius(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of all points within periodic ``radius`` of ``center``.
+
+        Returned indices are sorted ascending (deterministic downstream
+        accumulation order).
+        """
+        if self.n == 0:
+            return np.empty(0, dtype=np.intp)
+        center = np.asarray(center, dtype=np.float64).reshape(3)
+        r = float(radius)
+        if r < 0:
+            raise ValueError("radius must be non-negative")
+
+        ax = self._axis_range(center[0] - r, center[0] + r)
+        ay = self._axis_range(center[1] - r, center[1] + r)
+        az = self._axis_range(center[2] - r, center[2] + r)
+        nc = self.ncell
+        cells = (
+            (ax[:, None, None] * nc + ay[None, :, None]) * nc + az[None, None, :]
+        ).ravel()
+        members = self._gather_cells(cells)
+        if len(members) == 0:
+            return members
+
+        d = self.pos[members] - center
+        d -= self.box * np.round(d / self.box)
+        keep = np.einsum("ij,ij->i", d, d) <= r * r
+        return np.sort(members[keep])
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PeriodicCellIndex n={self.n} box={self.box} "
+            f"ncell={self.ncell} edge={self.cell_edge:.3g}>"
+        )

@@ -280,7 +280,18 @@ class WallClockInKernel(Rule):
     code = "RPR003"
     name = "wall-clock-in-kernel"
     summary = "wall-clock call inside a pure analysis kernel"
-    default_scopes = ("analysis", "dataparallel", "parallel", "io")
+    #: the PM hot path (``sim/pmsolver.py``) and the shared per-step
+    #: spatial cache (``insitu/spatial.py``) are pure kernels too — their
+    #: timing goes through :func:`repro.obs.timed`, so clock reads inside
+    #: them are a determinism bug, not instrumentation.
+    default_scopes = (
+        "analysis",
+        "dataparallel",
+        "parallel",
+        "io",
+        "sim/pmsolver.py",
+        "insitu/spatial.py",
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for call, resolved in _walk_calls(ctx):

@@ -21,8 +21,10 @@ from .algorithms import (
 )
 from .config import CosmoToolsConfig, InputDeck, parse_deck, parse_value
 from .manager import InSituAnalysisManager
+from .spatial import SharedStepIndex
 
 __all__ = [
+    "SharedStepIndex",
     "AnalysisContext",
     "InSituAlgorithm",
     "ALGORITHM_REGISTRY",

@@ -32,13 +32,33 @@ class AnalysisContext:
     ``store`` holds named intermediate products (e.g. ``"fof"`` set by
     the halo finder, read by the center finder); ``timings`` collects
     per-algorithm (and per-rank, where applicable) wall-clock records
-    that the workflow accounting consumes.
+    that the workflow accounting consumes.  :meth:`shared_spatial`
+    exposes the step's :class:`~repro.insitu.spatial.SharedStepIndex` —
+    the memoized spatial structures (cell index, tag→row map, owner
+    map) every stage shares instead of rebuilding.
     """
 
     step: int = 0
     a: float = 1.0
     store: dict[str, Any] = field(default_factory=dict)
     timings: dict[str, Any] = field(default_factory=dict)
+    #: lazily-created per-step spatial cache (see :meth:`shared_spatial`)
+    _spatial: Any = field(default=None, init=False, repr=False, compare=False)
+
+    def shared_spatial(self, sim):
+        """The step's shared spatial cache, created on first use.
+
+        Keyed to this context's lifetime: a new analysis step gets a new
+        context and therefore fresh structures over the current particle
+        positions.  All algorithms of one step share the same instance,
+        which is what bounds the per-step spatial-index builds to one
+        (``spatial_index_misses`` telemetry).
+        """
+        if self._spatial is None:
+            from .spatial import SharedStepIndex
+
+            self._spatial = SharedStepIndex(sim.particles)
+        return self._spatial
 
     def require(self, key: str) -> Any:
         """Fetch an upstream product, with a sequencing-aware error."""

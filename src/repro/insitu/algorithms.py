@@ -30,7 +30,7 @@ import numpy as np
 from ..analysis.centers import halo_centers
 from ..analysis.fof import parallel_fof
 from ..analysis.power_spectrum import measure_power_spectrum
-from ..analysis.so import so_mass
+from ..analysis.so import so_masses_indexed
 from ..analysis.subhalos import find_subhalos
 from ..io.catalog import HaloCatalog
 from ..io.genericio import write_genericio
@@ -133,9 +133,11 @@ class HaloFinderAlgorithm(_Scheduled):
         pos = np.asarray(sim.particles.pos, dtype=float)
         tags = np.asarray(sim.particles.tag, dtype=np.int64)
         decomp = CartesianDecomposition.for_ranks(box, self.n_ranks)
+        # owner map computed once via the shared per-step cache (it used
+        # to be rebuilt inside prog — i.e. n_ranks times per step)
+        owners = context.shared_spatial(sim).owners(decomp)
 
         def prog(comm):
-            owners = decomp.rank_of_position(pos)
             mine = owners == comm.rank
             t0 = time.perf_counter()
             halos = parallel_fof(
@@ -196,8 +198,7 @@ class HaloCenterAlgorithm(_Scheduled):
     def execute(self, sim, context: AnalysisContext) -> None:
         fof = context.require("fof")
         pos = np.asarray(sim.particles.pos, dtype=float)
-        tags = np.asarray(sim.particles.tag, dtype=np.int64)
-        index_of = tag_index_map(tags)
+        index_of = context.shared_spatial(sim).tag_index()
         halos: dict[int, np.ndarray] = fof["halos"]
         owner_rank: dict[int, int] = fof["owner_rank"]
         n_ranks: int = fof["n_ranks"]
@@ -312,8 +313,7 @@ class SubhaloFinderAlgorithm(_Scheduled):
         fof = context.require("fof")
         pos = np.asarray(sim.particles.pos, dtype=float)
         vel = np.asarray(sim.particles.vel, dtype=float)
-        tags = np.asarray(sim.particles.tag, dtype=np.int64)
-        index_of = tag_index_map(tags)
+        index_of = context.shared_spatial(sim).tag_index()
         halos: dict[int, np.ndarray] = fof["halos"]
         owner_rank: dict[int, int] = fof["owner_rank"]
         n_ranks: int = fof["n_ranks"]
@@ -376,7 +376,17 @@ class SubhaloFinderAlgorithm(_Scheduled):
 
 
 class SOMassAlgorithm(_Scheduled):
-    """Spherical-overdensity masses seeded at the MBP centers (task 5)."""
+    """Spherical-overdensity masses seeded at the MBP centers (task 5).
+
+    Candidate particles come from the step's shared
+    :class:`~repro.analysis.spatial_index.PeriodicCellIndex`: each
+    center queries a neighborhood sphere sized from the halo's FOF mass
+    (the radius where the enclosed FOF mass would sit exactly at the
+    ``Δ·ρ_mean`` threshold, doubled for margin) instead of scanning the
+    whole box — and, unlike the old members-only scan, the sphere also
+    includes non-member ambient particles, which is the correct SO
+    candidate set.
+    """
 
     name = "so_mass"
     delta: float = 200.0
@@ -386,26 +396,37 @@ class SOMassAlgorithm(_Scheduled):
         fof = context.require("fof")
         catalog: HaloCatalog = centers["catalog"]
         pos = np.asarray(sim.particles.pos, dtype=float)
-        tags = np.asarray(sim.particles.tag, dtype=np.int64)
-        index_of = tag_index_map(tags)
         box = sim.config.box
-        rho_mean = len(pos) * sim.particles.particle_mass / box**3
+        m = sim.particles.particle_mass
+        rho_mean = len(pos) * m / box**3
 
-        out = {}
-        for rec in catalog.records:
-            halo_tag = int(rec["halo_tag"])
-            members = fof["halos"][halo_tag]
-            idx = index_of[members]
-            center = np.asarray([rec["center_x"], rec["center_y"], rec["center_z"]])
-            out[halo_tag] = so_mass(
-                pos[idx],
-                center,
-                particle_mass=sim.particles.particle_mass,
-                reference_density=rho_mean,
-                delta=self.delta,
-                box=box,
-            )
-        context.store["so_mass"] = out
+        recs = list(catalog.records)
+        if not recs:
+            context.store["so_mass"] = {}
+            return
+
+        index = context.shared_spatial(sim).cell_index()
+        halo_tags = [int(rec["halo_tag"]) for rec in recs]
+        ctrs = np.asarray(
+            [[rec["center_x"], rec["center_y"], rec["center_z"]] for rec in recs]
+        )
+        counts = np.asarray([fof["counts"][t] for t in halo_tags], dtype=float)
+        # radius at which the halo's own FOF mass sits at the threshold
+        # density; 2x margin so the first query usually converges
+        r_est = (
+            3.0 * counts * m / (4.0 * np.pi * self.delta * rho_mean)
+        ) ** (1.0 / 3.0)
+        initial = np.maximum(2.0 * r_est, 2.0 * index.cell_edge)
+
+        results = so_masses_indexed(
+            index,
+            ctrs,
+            particle_mass=m,
+            reference_density=rho_mean,
+            delta=self.delta,
+            initial_radii=initial,
+        )
+        context.store["so_mass"] = dict(zip(halo_tags, results))
 
 
 class Level1WriterAlgorithm(_Scheduled):
@@ -425,7 +446,7 @@ class Level1WriterAlgorithm(_Scheduled):
         tags = np.asarray(sim.particles.tag, dtype=np.uint64)
         mask = np.asarray(sim.particles.mask, dtype=np.uint32)
         decomp = CartesianDecomposition.for_ranks(sim.config.box, self.n_ranks)
-        owners = decomp.rank_of_position(pos)
+        owners = context.shared_spatial(sim).owners(decomp)
         blocks = []
         for rank in range(self.n_ranks):
             sel = owners == rank
@@ -462,7 +483,7 @@ class Level2WriterAlgorithm(_Scheduled):
         pos = np.asarray(sim.particles.pos, dtype=np.float32)
         vel = np.asarray(sim.particles.vel, dtype=np.float32)
         tags = np.asarray(sim.particles.tag, dtype=np.int64)
-        index_of = tag_index_map(tags)
+        index_of = context.shared_spatial(sim).tag_index()
         owner_rank = fof["owner_rank"]
         n_ranks = fof["n_ranks"]
 
@@ -524,7 +545,7 @@ class Level2StageAlgorithm(Level2WriterAlgorithm):
         pos = np.asarray(sim.particles.pos, dtype=np.float32)
         vel = np.asarray(sim.particles.vel, dtype=np.float32)
         tags = np.asarray(sim.particles.tag, dtype=np.int64)
-        index_of = tag_index_map(tags)
+        index_of = context.shared_spatial(sim).tag_index()
         owner_rank = fof["owner_rank"]
         n_ranks = fof["n_ranks"]
 

@@ -36,6 +36,7 @@ from .recorder import (
     get_recorder,
     set_recorder,
     telemetry,
+    timed,
 )
 from .report import PhaseStat, RunTelemetry, phase_of
 from .spans import Span, Tracer, load_chrome_trace, to_chrome_trace, write_chrome_trace
@@ -63,6 +64,7 @@ __all__ = [
     "read_jsonl",
     "set_recorder",
     "telemetry",
+    "timed",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 import uuid
 from typing import Any, Iterator
 
@@ -37,6 +38,7 @@ __all__ = [
     "enable",
     "disable",
     "telemetry",
+    "timed",
 ]
 
 
@@ -265,6 +267,24 @@ def disable() -> NullRecorder | TelemetryRecorder:
     previous = set_recorder(_NULL)
     previous.close()
     return previous
+
+
+@contextlib.contextmanager
+def timed(histogram: str, help: str = "") -> Iterator[None]:
+    """Observe a block's wall time into a named histogram.
+
+    The one sanctioned way for *pure kernels* to report timing: clock
+    reads live here (inside ``repro.obs``, where rule RPR003 allows
+    them), so instrumented kernels stay clock-free functions of their
+    inputs.  With the :class:`NullRecorder` installed the overhead is
+    two ``perf_counter`` reads and a no-op ``observe``.
+    """
+    rec = get_recorder()
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        rec.histogram(histogram, help).observe(time.perf_counter() - t0)
 
 
 @contextlib.contextmanager

@@ -12,6 +12,7 @@ from .hacc import HACCSimulation, SimulationConfig, StepRecord
 from .initial_conditions import ICConfig, gaussian_field, make_initial_conditions, za_displacements
 from .particles import BYTES_PER_PARTICLE, LEVEL1_SCHEMA, Particles
 from .pm import cic_deposit, cic_interpolate, gradient_spectral, pm_accelerations, solve_poisson
+from .pmsolver import PMSolver, get_solver
 from .power import LinearPower, transfer_eisenstein_hu
 
 __all__ = [
@@ -34,6 +35,8 @@ __all__ = [
     "gradient_spectral",
     "pm_accelerations",
     "solve_poisson",
+    "PMSolver",
+    "get_solver",
     "LinearPower",
     "transfer_eisenstein_hu",
 ]

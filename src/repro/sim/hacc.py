@@ -34,8 +34,29 @@ from .cosmology import Cosmology, QCONTINUUM_COSMOLOGY, a_of_z, z_of_a
 from .initial_conditions import ICConfig, make_initial_conditions
 from .particles import Particles
 from .pm import cic_interpolate, cic_deposit, gradient_spectral, solve_poisson
+from .pmsolver import get_solver
 
 __all__ = ["SimulationConfig", "StepRecord", "HACCSimulation"]
+
+#: Analysis-context timing keys counted as in-situ I/O time (the writers
+#: and the in-transit stager) — the source of ``StepRecord.io_seconds``.
+_IO_TIMING_KEYS = (
+    "level1_write_seconds",
+    "level2_write_seconds",
+    "level2_stage_seconds",
+)
+
+
+def _io_seconds_from_context(context) -> float:
+    """Total in-situ I/O seconds recorded by a step's analysis context.
+
+    Tolerates bare analysis managers (test spies) whose ``execute``
+    returns ``None`` or a context without timings.
+    """
+    timings = getattr(context, "timings", None)
+    if not isinstance(timings, dict):
+        return 0.0
+    return float(sum(timings.get(key, 0.0) for key in _IO_TIMING_KEYS))
 
 
 @dataclass(frozen=True)
@@ -54,12 +75,23 @@ class SimulationConfig:
     n_steps: int = 60
     ng: int | None = None
     seed: int = 12345
+    #: PM force engine: ``"fused"`` (the :class:`~repro.sim.pmsolver.PMSolver`
+    #: 4-FFT path, default) or ``"reference"`` (the original 6-FFT
+    #: function-at-a-time pipeline, kept for cross-validation).
+    pm_backend: str = "fused"
+    #: FFT threads for the fused solver (None = auto; bit-identical
+    #: results for any value).
+    fft_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_steps < 1:
             raise ValueError("n_steps must be >= 1")
         if self.z_final >= self.z_initial:
             raise ValueError("z_final must be < z_initial")
+        if self.pm_backend not in ("fused", "reference"):
+            raise ValueError(
+                f"pm_backend must be 'fused' or 'reference', got {self.pm_backend!r}"
+            )
 
     @property
     def mesh_size(self) -> int:
@@ -72,7 +104,12 @@ class SimulationConfig:
 
 @dataclass
 class StepRecord:
-    """Timing/accounting for one simulation step."""
+    """Timing/accounting for one simulation step.
+
+    ``io_seconds`` is the in-situ I/O share of ``analysis_seconds``:
+    the sum of the Level 1 / Level 2 writer (or in-transit stager)
+    timings recorded in the step's analysis context.
+    """
 
     step: int
     a: float
@@ -121,11 +158,17 @@ class HACCSimulation:
         )
         self.a = float(a_of_z(config.z_initial))
         self.a_final = float(a_of_z(config.z_final))
+        # fixed scale-factor step, precomputed once (advance_step used to
+        # recompute a_of_z(z_initial) — a root find — on every step)
+        self._da = (self.a_final - self.a) / config.n_steps
         self.step = 0
         self.records: list[StepRecord] = []
         self._accel_cache: np.ndarray | None = None
         # conversion: positions stored in box units; PM works in grid cells
         self._cell = config.box / config.mesh_size
+        #: the fused spectral PM engine (shared per (ng, workers) so the
+        #: k-grids / Green's functions / CIC scratch persist across steps)
+        self.pm = get_solver(config.mesh_size, workers=config.fft_workers)
 
     # -- mesh-unit helpers -------------------------------------------------
 
@@ -137,11 +180,18 @@ class HACCSimulation:
     def _compute_accelerations(self, a: float) -> np.ndarray:
         ng = self.config.mesh_size
         pos_grid = self.grid_positions
-        delta = cic_deposit(pos_grid, ng)
-        phi = solve_poisson(delta, factor=self.cosmo.poisson_factor(a))
-        grad = gradient_spectral(phi)
+        factor = self.cosmo.poisson_factor(a)
+        if self.config.pm_backend == "fused":
+            # fused spectral engine: 4 FFTs, bincount deposit, one CIC
+            # geometry shared by scatter and gather
+            accel = self.pm.accelerations(pos_grid, factor)
+        else:
+            delta = cic_deposit(pos_grid, ng)
+            phi = solve_poisson(delta, factor=factor)
+            grad = gradient_spectral(phi)
+            accel = -cic_interpolate(grad, pos_grid)
         # mesh acceleration (grid units) -> box units: one factor of cell
-        return -cic_interpolate(grad, pos_grid) * self._cell
+        return accel * self._cell
 
     # -- main loop -----------------------------------------------------------
 
@@ -163,9 +213,8 @@ class HACCSimulation:
 
     def advance_step(self) -> StepRecord:
         """One kick-drift-kick step in the scale factor."""
-        cfg = self.config
         rec = get_recorder()
-        da = (self.a_final - float(a_of_z(cfg.z_initial))) / cfg.n_steps
+        da = self._da  # precomputed in __init__ (fixed across the run)
         a0 = self.a
         a1 = a0 + da
         a_half = 0.5 * (a0 + a1)
@@ -202,12 +251,13 @@ class HACCSimulation:
 
             if self.analysis_manager is not None:
                 t1 = time.perf_counter()
-                self._invoke_analysis()
+                context = self._invoke_analysis()
                 record.analysis_seconds = time.perf_counter() - t1
+                record.io_seconds = _io_seconds_from_context(context)
         return record
 
-    def _invoke_analysis(self) -> None:
-        self.analysis_manager.execute(self, self.step, self.a)
+    def _invoke_analysis(self):
+        return self.analysis_manager.execute(self, self.step, self.a)
 
     # -- convenience -----------------------------------------------------------
 

@@ -93,24 +93,18 @@ def za_displacements(delta: np.ndarray, box: float) -> np.ndarray:
 
     Solves ``δ = -∇·ψ`` spectrally: ``ψ_k = i k δ_k / k²``.  Returns an
     array of shape ``(3, ng, ng, ng)`` in the same length units as ``box``.
+
+    Runs on the shared :class:`~repro.sim.pmsolver.PMSolver` — the same
+    fused ``i k / k²`` spectral engine as the force evaluation, with its
+    cached k-grids and threaded transforms.  Physical wavenumbers are
+    the grid wavenumbers over the cell size, so
+    ``ψ = cell · IFFT(i k_g δ_k / k_g²)``.
     """
+    from .pmsolver import get_solver
+
     ng = delta.shape[0]
-    dk = np.fft.rfftn(delta)
-    kf = 2.0 * np.pi / box
-    kx = kf * np.fft.fftfreq(ng, d=1.0 / ng)
-    kz = kf * np.fft.rfftfreq(ng, d=1.0 / ng)
-    kvec = (
-        kx[:, None, None],
-        kx[None, :, None],
-        kz[None, None, :],
-    )
-    k2 = kvec[0] ** 2 + kvec[1] ** 2 + kvec[2] ** 2
-    psi = np.empty((3, ng, ng, ng))
-    with np.errstate(divide="ignore", invalid="ignore"):
-        inv_k2 = np.where(k2 > 0, 1.0 / k2, 0.0)
-    for axis in range(3):
-        psi[axis] = np.fft.irfftn(1j * kvec[axis] * dk * inv_k2, s=delta.shape, axes=(0, 1, 2))
-    return psi
+    cell = box / ng
+    return cell * get_solver(ng).inverse_gradient(delta)
 
 
 def make_initial_conditions(
