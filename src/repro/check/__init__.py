@@ -7,7 +7,7 @@ order-stable float reductions, wall-clock-free kernels, and leak-free
 shared-memory lifecycles.  This package enforces them twice over:
 
 * **statically** — an AST-based analyzer with a pluggable rule registry
-  (RPR001-RPR008, see :mod:`repro.check.rules`), ``# repro: noqa[...]``
+  (RPR001-RPR009, see :mod:`repro.check.rules`), ``# repro: noqa[...]``
   suppressions, text/JSON reporters, a ``python -m repro.check`` CLI,
   and ``[tool.repro-check]`` configuration in ``pyproject.toml``;
 * **at runtime** — opt-in (``REPRO_SANITIZE=1``) sanitizers in

@@ -1,4 +1,4 @@
-"""The determinism & resource-safety rule set (RPR001-RPR008).
+"""The determinism & resource-safety rule set (RPR001-RPR009).
 
 Every rule is grounded in an invariant this codebase actually relies
 on: the work-stealing engine's bit-identical serial/parallel guarantee
@@ -24,6 +24,9 @@ Code         Invariant enforced
 ``RPR007``   No mutable default arguments.
 ``RPR008``   Spans are used in context-manager form only (no manual
              begin/end, which leaks open spans on error paths).
+``RPR009``   No hand-rolled ``time.sleep`` retry loops — retrying goes
+             through :class:`repro.faults.RetryPolicy` (seeded backoff,
+             telemetry, fault injection).
 ===========  ==================================================================
 """
 
@@ -546,3 +549,54 @@ class SpanOutsideWith(Rule):
             if isinstance(anc, ast.stmt):
                 break
         return False
+
+
+# -- RPR009: hand-rolled sleep/retry loops ------------------------------------
+
+
+@register_rule
+class SleepRetryLoop(Rule):
+    """A ``while``/``for`` loop that catches exceptions and ``time.sleep``\\ s
+    before trying again is a shadow retry mechanism: its backoff is
+    unseeded (two runs wait differently), it emits no ``retry.*``
+    telemetry, and the fault-injection sites cannot see its attempts.
+    All retrying goes through :class:`repro.faults.RetryPolicy`, which
+    provides deterministic seeded jitter, capped backoff, and the
+    ``retries_total`` accounting that docs/failures.md documents."""
+
+    code = "RPR009"
+    name = "sleep-retry-loop"
+    summary = "hand-rolled time.sleep retry loop (use repro.faults.RetryPolicy)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.While, ast.For)):
+                continue
+            own = list(self._own_nodes(node))
+            has_try = any(isinstance(n, ast.Try) for n in own)
+            sleeps = [
+                n
+                for n in own
+                if isinstance(n, ast.Call) and ctx.resolve_call(n) == "time.sleep"
+            ]
+            if has_try and sleeps:
+                yield self.finding(
+                    ctx,
+                    sleeps[0],
+                    "time.sleep inside an exception-handling retry loop; use "
+                    "repro.faults.RetryPolicy (seeded backoff + telemetry) instead",
+                )
+
+    @staticmethod
+    def _own_nodes(loop: ast.While | ast.For) -> Iterator[ast.AST]:
+        """Walk the loop body without descending into nested loops or
+        nested function/class definitions (those are judged on their
+        own)."""
+        stack: list[ast.AST] = list(loop.body) + list(loop.orelse)
+        stop = (ast.While, ast.For, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        while stack:
+            n = stack.pop()
+            yield n
+            if isinstance(n, stop):
+                continue
+            stack.extend(ast.iter_child_nodes(n))

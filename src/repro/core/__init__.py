@@ -5,7 +5,7 @@ five workflow strategies with full time/core-hour accounting, and
 table/figure renderers.
 """
 
-from .accounting import JobLedger, Phase, WorkflowReport
+from .accounting import FailureRecord, JobLedger, Phase, WorkflowReport
 from .driver import (
     CombinedRunResult,
     centers_from_level2_arrays,
@@ -36,6 +36,7 @@ __all__ = [
     "run_intransit_workflow",
     "offline_center_job",
     "run_combined_workflow",
+    "FailureRecord",
     "JobLedger",
     "Phase",
     "WorkflowReport",

@@ -12,7 +12,32 @@ from dataclasses import dataclass, field
 
 from ..machines.machine import MachineSpec
 
-__all__ = ["Phase", "JobLedger", "WorkflowReport"]
+__all__ = ["FailureRecord", "Phase", "JobLedger", "WorkflowReport"]
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One terminal failure a live workflow completed *without*.
+
+    The degraded-mode receipt attached to
+    :class:`repro.core.driver.CombinedRunResult` (``failures`` list,
+    ``degraded=True``): which unit of work was given up on, where, and
+    after how many attempts — so a degraded Level 3 catalog is always
+    accompanied by an exact statement of what is missing.
+    """
+
+    stage: str  # "offline" | "listener" | "exec" | ...
+    key: str  # timestep / job name / item id
+    reason: str
+    attempts: int = 1
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "stage": self.stage,
+            "key": self.key,
+            "reason": self.reason,
+            "attempts": self.attempts,
+        }
 
 
 @dataclass(frozen=True)

@@ -19,16 +19,26 @@ This is the code path the integration tests and examples exercise; its
 outputs are bit-identical between the simple and co-scheduled variants
 (only scheduling differs), and match a full in-situ run with threshold
 infinity — the workflow correctness property the paper relies on.
+
+Failure model (see ``docs/failures.md``): every off-line center job
+runs under the listener's :class:`~repro.faults.RetryPolicy` (with
+``"offline.job"`` fault injection per attempt).  A snapshot whose job
+exhausts its retries does **not** abort the campaign — the run
+completes with the in-situ leg of the catalog, ``degraded=True``, and
+a :class:`~repro.core.accounting.FailureRecord` per missing snapshot,
+so a degraded Level 3 product always states exactly what is absent.
 """
 
 from __future__ import annotations
 
 import os
+import re
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..analysis.centers import halo_centers
+from ..faults import RetryPolicy, maybe_inject
 from ..insitu.algorithms import (
     HaloCenterAlgorithm,
     HaloFinderAlgorithm,
@@ -42,6 +52,7 @@ from ..machines.listener import Listener
 from ..machines.staging import StagingArea
 from ..obs import RunTelemetry, get_recorder
 from ..sim.hacc import HACCSimulation, SimulationConfig
+from .accounting import FailureRecord
 
 __all__ = [
     "CombinedRunResult",
@@ -65,6 +76,11 @@ class CombinedRunResult:
     #: :class:`~repro.obs.report.RunTelemetry` snapshot of the run
     #: (``None`` when telemetry is disabled — the default).
     telemetry: RunTelemetry | None = None
+    #: ``True`` when an off-line leg exhausted its retries: ``catalog``
+    #: is then missing the failed snapshots' off-loaded halos (worst
+    #: case: the in-situ-only catalog), and ``failures`` says which.
+    degraded: bool = False
+    failures: list[FailureRecord] = field(default_factory=list)
 
 
 def centers_from_level2_arrays(
@@ -158,6 +174,7 @@ def run_combined_workflow(
     coschedule: bool = False,
     listener_poll: float = 0.1,
     analysis_workers: int | None = None,
+    retry: RetryPolicy | None = None,
 ) -> CombinedRunResult:
     """Run the combined in-situ/off-line workflow for real.
 
@@ -169,6 +186,13 @@ def run_combined_workflow(
     ``analysis_workers > 1`` runs every off-line center job on the
     :mod:`repro.exec` multi-process engine (same results, the node's
     cores actually used).
+
+    ``retry`` is the listener's submit policy (``None`` → the tree-wide
+    default of 3 attempts).  An off-line job that fails every attempt
+    (e.g. an ``"offline.job"`` fault with ``always=True``) degrades the
+    run instead of aborting it: the result carries ``degraded=True``
+    plus one :class:`~repro.core.accounting.FailureRecord` per missing
+    snapshot, and ``catalog`` contains whatever legs completed.
     """
     rec = get_recorder()
     spool_dir = os.fspath(spool_dir)
@@ -195,15 +219,18 @@ def run_combined_workflow(
 
     offline_catalogs: list[HaloCatalog] = []
     listener_stats = None
+    completed_steps: set[int] = set()
 
     def submit(path: str, step: int, script: str) -> None:
+        maybe_inject("offline.job", key=step)
         offline_catalogs.append(offline_center_job(path, workers=analysis_workers))
+        completed_steps.add(step)
 
     sim = HACCSimulation(config, analysis_manager=manager)
 
     if coschedule:
         listener = Listener(
-            spool_dir, "l2_step*.gio", submit, poll_interval=listener_poll
+            spool_dir, "l2_step*.gio", submit, poll_interval=listener_poll, retry=retry
         )
         with rec.span("workflow.sim", coschedule=True):
             listener.start()
@@ -216,7 +243,7 @@ def run_combined_workflow(
     else:
         with rec.span("workflow.sim", coschedule=False):
             sim.run()
-        listener = Listener(spool_dir, "l2_step*.gio", submit)
+        listener = Listener(spool_dir, "l2_step*.gio", submit, retry=retry)
         with rec.span("workflow.offline"):
             fresh = listener.poll_once()  # one shot after the run ("queued after sim")
         listener_stats = listener.stats
@@ -230,11 +257,32 @@ def run_combined_workflow(
             merge_catalogs(*offline_catalogs) if offline_catalogs else HaloCatalog()
         )
         merged = merge_catalogs(insitu_catalog, offline_catalog)
+
+    # graceful degradation: snapshots whose off-line job exhausted its
+    # retries are recorded, not raised — the campaign's other legs stand
+    attempts = listener.retry.max_attempts
+    failures = [
+        FailureRecord(
+            stage="offline",
+            key=str(step),
+            reason="off-line center job failed every retry attempt",
+            attempts=attempts,
+        )
+        for step in sorted(_steps_of(level2_paths) - completed_steps)
+    ]
+    if failures:
+        rec.event(
+            "workflow.degraded",
+            level="warning",
+            missing_steps=[f.key for f in failures],
+            jobs_failed=getattr(listener_stats, "jobs_failed", 0),
+        )
     rec.event(
         "workflow.done",
         halos=len(merged),
         offloaded=len(offloaded),
         jobs_failed=getattr(listener_stats, "jobs_failed", 0),
+        degraded=bool(failures),
     )
     return CombinedRunResult(
         catalog=merged,
@@ -244,7 +292,22 @@ def run_combined_workflow(
         level2_paths=list(level2_paths),
         listener_stats=listener_stats,
         telemetry=RunTelemetry.from_recorder(rec),
+        degraded=bool(failures),
+        failures=failures,
     )
+
+
+_STEP_RE = re.compile(r"step(\d+)")
+
+
+def _steps_of(paths: list[str]) -> set[int]:
+    """Timesteps encoded in a list of Level 2 file names."""
+    out: set[int] = set()
+    for p in paths:
+        m = _STEP_RE.search(os.path.basename(p))
+        if m:
+            out.add(int(m.group(1)))
+    return out
 
 
 def run_intransit_workflow(

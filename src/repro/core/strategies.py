@@ -31,6 +31,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..faults import FaultPlan, FaultSpec, RetryPolicy, fault_plan
 from ..machines.cost import CostModel
 from ..machines.machine import MachineSpec, TITAN
 from ..machines.scheduler import Job, Scheduler
@@ -296,6 +297,61 @@ class CombinedWorkflow(WorkflowStrategy):
                 )
             )
         return sched.run()
+
+    def coscheduled_makespan_under_faults(
+        self,
+        profile: WorkloadProfile,
+        probability: float = 0.10,
+        seed: int = 0,
+        max_requeues: int = 3,
+    ) -> tuple[float, Scheduler]:
+        """:meth:`coscheduled_makespan` with seeded per-job failures.
+
+        Each per-snapshot analysis job fails at grant time with
+        ``probability`` (the ``"scheduler.payload"`` site of a seeded
+        :class:`~repro.faults.FaultPlan`); a failed job still occupies
+        its nodes for the full duration (the paper-era batch reality:
+        you find out at the end), then requeues at the current sim
+        clock, up to ``max_requeues`` times before dead-lettering.
+
+        Returns ``(makespan, scheduler)`` so callers can inspect the
+        requeue counters and the dead-letter box.  Deterministic: the
+        same ``seed`` yields the same failure schedule, makespan and
+        dead-letter contents — the failure-ablation counterpart of
+        Table 4's clean co-scheduled column.
+        """
+        if isinstance(profile, WorkflowReport):
+            raise TypeError("pass the WorkloadProfile")
+        report = self.evaluate(profile)
+        sim_total = report.simulation.total_seconds
+        n_snaps = profile.n_snapshots
+        per_snap = sim_total / n_snaps
+        post = report.postprocessing[0]
+        per_job = post.total_seconds / n_snaps
+
+        plan = FaultPlan(
+            seed=seed,
+            sites={"scheduler.payload": FaultSpec(probability=probability)},
+        )
+        # retries-in-sim-time: one attempt per grant, requeue on failure
+        # (a wall-clock backoff loop would sleep for real — see RPR009)
+        sched = Scheduler(
+            self.analysis_machine, payload_retry=RetryPolicy(max_attempts=1)
+        )
+        for s in range(n_snaps):
+            sched.submit(
+                Job(
+                    name=f"analysis_step{s}",
+                    n_nodes=post.nodes,
+                    duration=per_job,
+                    submit_time=(s + 1) * per_snap,
+                    payload=lambda: None,
+                    max_requeues=max_requeues,
+                )
+            )
+        with fault_plan(plan):
+            makespan = sched.run()
+        return makespan, sched
 
 
 def evaluate_all(

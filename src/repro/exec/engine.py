@@ -21,6 +21,13 @@ Design (see :mod:`repro.exec.workqueue` for the scheduling policy):
 * a crashing worker is isolated: its traceback is shipped back, the
   remaining workers drain at the next item boundary, and the engine
   raises :class:`WorkerError` instead of hanging;
+* with ``item_retries > 0`` the failure unit shrinks from worker to
+  *item*: a failing item (including an injected ``"exec.item"`` fault
+  from the active :class:`~repro.faults.FaultPlan`) is shipped back as
+  an item error, retried inline by the parent, and — after exhausting
+  its retries — *poisoned*: quarantined in the engine's bounded
+  :class:`~repro.faults.DeadLetterBox` and excluded from the output,
+  while every other item completes normally (see ``docs/failures.md``);
 * everything is instrumented through :mod:`repro.obs`: per-worker item
   spans land in the Chrome trace on ``exec-worker-N`` tracks, the
   ``exec_load_imbalance_ratio`` gauge reports max/mean worker busy time
@@ -49,6 +56,13 @@ from ..analysis.centers import (
     group_halo_members,
     mbp_center_astar,
     mbp_center_bruteforce,
+)
+from ..faults import (
+    DeadLetterBox,
+    FaultPlan,
+    get_fault_plan,
+    maybe_inject,
+    set_fault_plan,
 )
 from ..obs import NullRecorder, TelemetryRecorder, get_recorder
 from .sharedmem import SharedParticleStore
@@ -123,6 +137,13 @@ class ExecReport:
     total_cost: int = 0
     item_log: list[ItemRecord] = field(default_factory=list)
     halo_seconds: dict[int, float] = field(default_factory=dict)
+    #: item attempts that failed (before retry resolution)
+    item_failures: int = 0
+    #: items that succeeded on an inline retry after a worker-side failure
+    recovered_items: int = 0
+    #: item ids quarantined after exhausting ``item_retries`` — their
+    #: halos are excluded from the reassembled output
+    poisoned: list[int] = field(default_factory=list)
 
     @property
     def total_steals(self) -> int:
@@ -279,7 +300,14 @@ def _worker_main(
     abort: Any,  # multiprocessing Event from the engine's ctx
     result_q: Any,  # multiprocessing Queue from the engine's ctx
     task: dict[str, Any],
+    plan_dict: dict[str, Any] | None = None,
+    catch_item_errors: bool = False,
 ) -> None:
+    if plan_dict is not None:
+        # install a fresh copy of the parent's fault plan (spawn contexts
+        # don't inherit it; fork contexts get deterministic per-worker
+        # attempt state this way instead of the parent's history)
+        set_fault_plan(FaultPlan.from_dict(plan_dict))
     store = SharedParticleStore.attach(spec)
     runner = _TASK_RUNNERS[task["task"]]
     cache: dict[int, np.ndarray] = {}
@@ -292,7 +320,19 @@ def _worker_main(
             item = items[item_id]
             t0 = time.perf_counter()
             overhead = t0 - t_prev
-            payload = runner(item, store, task, cache)
+            try:
+                maybe_inject("exec.item", item_id)
+                payload = runner(item, store, task, cache)
+            except Exception:
+                if not catch_item_errors:
+                    raise
+                t1 = time.perf_counter()
+                busy += t1 - t0
+                t_prev = t1
+                result_q.put(
+                    ("item_error", worker_id, item_id, traceback.format_exc())
+                )
+                return
             t1 = time.perf_counter()
             busy += t1 - t0
             t_prev = t1
@@ -339,6 +379,13 @@ class ExecutionEngine:
     result_timeout:
         Hard ceiling in seconds on waiting for worker results — the
         no-hang guarantee even if a worker is killed outright.
+    item_retries:
+        ``0`` (default) keeps the historical contract: any failing item
+        crashes its worker and the run raises :class:`WorkerError`.
+        ``N > 0`` shrinks the failure unit to the *item*: a failing
+        item is retried inline up to ``N`` times and then poisoned
+        (quarantined in :attr:`dead_letter`, excluded from the output)
+        while the rest of the batch completes.
     """
 
     def __init__(
@@ -349,6 +396,7 @@ class ExecutionEngine:
         chunk_factor: float = 16.0,
         min_split_rows: int = 256,
         result_timeout: float = 600.0,
+        item_retries: int = 0,
     ) -> None:
         self.workers = int(workers) if workers else default_workers()
         self.start_method = start_method
@@ -356,6 +404,11 @@ class ExecutionEngine:
         self.chunk_factor = chunk_factor
         self.min_split_rows = min_split_rows
         self.result_timeout = result_timeout
+        if item_retries < 0:
+            raise ValueError("item_retries must be >= 0")
+        self.item_retries = int(item_retries)
+        #: poison quarantine: items that exhausted their retries
+        self.dead_letter = DeadLetterBox("exec")
 
     # -- public API -----------------------------------------------------------
 
@@ -418,19 +471,29 @@ class ExecutionEngine:
         cache: dict[int, np.ndarray] = {}
         payloads: list[tuple[int, list[tuple[Any, ...]]]] = []
         log: list[ItemRecord] = []
+        failed_items: list[tuple[int, str]] = []
         busy = 0.0
         order = [i for ids in work.seeds for i in ids] + list(work.pool)
         t_prev = time.perf_counter()
         for item_id in order:
             item = work.items[item_id]
             t0 = time.perf_counter()
-            payloads.append((item_id, runner(item, store, task, cache)))
+            try:
+                maybe_inject("exec.item", item_id)
+                payloads.append((item_id, runner(item, store, task, cache)))
+            except Exception:
+                if self.item_retries == 0:
+                    raise  # historical contract: inline failures propagate
+                failed_items.append((item_id, traceback.format_exc()))
             t1 = time.perf_counter()
             log.append(
                 ItemRecord(0, item.kind, item.n_halos, item.cost, t0, t1, t0 - t_prev, False)
             )
             busy += t1 - t0
             t_prev = t1
+        recovered, poisoned = self._retry_failed_items(
+            failed_items, arrays, work, task, payloads
+        )
         return payloads, ExecReport(
             workers=1,
             n_items=len(work.items),
@@ -442,6 +505,9 @@ class ExecutionEngine:
             imbalance=1.0,
             total_cost=work.total_cost,
             item_log=log,
+            item_failures=len(failed_items),
+            recovered_items=recovered,
+            poisoned=poisoned,
         )
 
     # -- multi-process path ---------------------------------------------------
@@ -461,6 +527,9 @@ class ExecutionEngine:
         log: list[ItemRecord] = []
         busy = [0.0] * n_workers
         steals = [0] * n_workers
+        failed_items: list[tuple[int, str]] = []  # (item_id, traceback)
+        active_plan = get_fault_plan()
+        plan_dict = active_plan.to_dict() if active_plan is not None else None
         try:
             result_q = ctx.Queue()
             cursor = ctx.Value("l", 0)
@@ -487,6 +556,8 @@ class ExecutionEngine:
                         abort,
                         result_q,
                         task,
+                        plan_dict,
+                        self.item_retries > 0,
                     ),
                     name=f"exec-worker-{w}",
                     daemon=True,
@@ -534,6 +605,9 @@ class ExecutionEngine:
                     busy[w] = wbusy
                     steals[w] = wsteals
                     finished.add(w)
+                elif msg[0] == "item_error":
+                    _, w, item_id, tb = msg
+                    failed_items.append((item_id, tb))
                 elif msg[0] == "error":
                     _, w, tb = msg
                     abort.set()
@@ -554,6 +628,11 @@ class ExecutionEngine:
         if error is not None:
             raise error
 
+        item_failures = len(failed_items)
+        recovered, poisoned = self._retry_failed_items(
+            failed_items, arrays, work, task, payloads
+        )
+
         nonzero = [b for b in busy if b > 0]
         mean_busy = float(np.mean(busy)) if busy else 0.0
         imbalance = (max(busy) / mean_busy) if nonzero and mean_busy > 0 else 1.0
@@ -568,7 +647,69 @@ class ExecutionEngine:
             imbalance=imbalance,
             total_cost=work.total_cost,
             item_log=log,
+            item_failures=item_failures,
+            recovered_items=recovered,
+            poisoned=poisoned,
         )
+
+    def _retry_failed_items(
+        self,
+        failed_items: list[tuple[int, str]],
+        arrays: Mapping[str, np.ndarray],
+        work: HaloWorkQueue,
+        task: dict[str, Any],
+        payloads: list[tuple[int, list[tuple[Any, ...]]]],
+    ) -> tuple[int, list[int]]:
+        """Retry worker-failed items inline; poison the unrecoverable.
+
+        Returns ``(recovered_count, poisoned_item_ids)``.  Each retry
+        attempt re-runs the ``"exec.item"`` injection site against the
+        *parent's* fault plan, so a ``fail_first`` schedule that killed
+        the worker attempt is absorbed here deterministically.
+        """
+        if not failed_items:
+            return 0, []
+        rec = get_recorder()
+        runner = _TASK_RUNNERS[task["task"]]
+        store = _InlineStore(arrays)
+        recovered = 0
+        poisoned: list[int] = []
+        for item_id, tb in sorted(failed_items):
+            item = work.items[item_id]
+            rec.counter("exec_item_failures_total").inc()
+            last_tb = tb
+            ok = False
+            for _attempt in range(self.item_retries):
+                rec.counter("exec_item_retries_total").inc()
+                try:
+                    with rec.span("exec.item_retry", item=item_id):
+                        maybe_inject("exec.item", item_id)
+                        payload = runner(item, store, task, {})
+                except Exception as exc:
+                    last_tb = traceback.format_exc()
+                    rec.event(
+                        "exec.item_retry_failed",
+                        level="warning",
+                        item=item_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    payloads.append((item_id, payload))
+                    recovered += 1
+                    ok = True
+                    break
+            if not ok:
+                poisoned.append(item_id)
+                last = last_tb.strip().splitlines()[-1] if last_tb.strip() else "unknown"
+                self.dead_letter.add(
+                    item_id,
+                    last,
+                    attempts=1 + self.item_retries,
+                    kind=item.kind,
+                    n_halos=item.n_halos,
+                )
+                rec.counter("exec_poisoned_items_total").inc()
+        return recovered, poisoned
 
     # -- telemetry ------------------------------------------------------------
 
@@ -606,6 +747,15 @@ class ExecutionEngine:
                     cost=it.cost,
                     stolen=it.stolen,
                 )
+        if report.poisoned:
+            rec.event(
+                "exec.items_poisoned",
+                level="error",
+                task=task.get("task"),
+                items=list(report.poisoned),
+                failures=report.item_failures,
+                recovered=report.recovered_items,
+            )
         rec.event(
             "exec.run_done",
             task=task.get("task"),
@@ -616,6 +766,8 @@ class ExecutionEngine:
             steals=report.total_steals,
             imbalance=round(report.imbalance, 4),
             busy_fraction=round(report.busy_fraction, 4),
+            item_failures=report.item_failures,
+            poisoned=len(report.poisoned),
         )
 
 
@@ -735,12 +887,22 @@ def parallel_halo_centers(
         pair_evaluations=int(per_halo_pairs.sum()),
         exact_potentials=int(exact.sum()),
     )
-    for h in range(n_halos):
+    done = [h for h in range(n_halos) if h in best]
+    for h in done:
         phi, idx = best[h]
         gidx = groups[h][idx]
         centers[h] = pos[gidx]
         mbp_tags[h] = tags[gidx]
         potentials[h] = phi
+    if len(done) < n_halos:
+        # poisoned items (item_retries quarantine) drop their halos from
+        # the catalog; everything that completed is returned unchanged
+        keep = np.asarray(done, dtype=np.int64)
+        halo_tags = halo_tags[keep]
+        centers = centers[keep]
+        mbp_tags = mbp_tags[keep]
+        potentials = potentials[keep]
+        per_halo_pairs = per_halo_pairs[keep]
     return HaloCentersResult(
         halo_tags=halo_tags,
         centers=centers,

@@ -1,0 +1,113 @@
+"""Bounded dead-letter lists for work that exhausted its retries.
+
+The workflow's terminal-failure sink: jobs the scheduler gave up on,
+poison work items the exec engine quarantined, off-line steps the
+combined driver completed without.  Every producer uses the same
+bounded :class:`DeadLetterBox`, so queue growth is capped the same way
+:data:`repro.machines.listener.BACKLOG_HISTORY_LIMIT` already caps the
+listener's backlog history: the *entries* window is a deque of the most
+recent :data:`DEAD_LETTER_LIMIT` records, while the running ``total``
+covers the whole run — accounting stays exact after old entries age
+out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["DEAD_LETTER_LIMIT", "DeadLetterBox", "DeadLetterEntry"]
+
+#: Cap on retained dead-letter entries per box (long co-scheduling
+#: campaigns run forever; an unbounded failure list is a leak).  The
+#: ``total`` counter keeps the exact whole-run count regardless.
+DEAD_LETTER_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class DeadLetterEntry:
+    """One terminally-failed unit of work."""
+
+    source: str  # "scheduler" | "exec" | "workflow" | ...
+    key: str  # job name / item id / step
+    reason: str
+    attempts: int = 1
+    sim_time: float | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "source": self.source,
+            "key": self.key,
+            "reason": self.reason,
+            "attempts": self.attempts,
+        }
+        if self.sim_time is not None:
+            out["sim_time"] = self.sim_time
+        out.update(self.fields)
+        return out
+
+
+class DeadLetterBox:
+    """Bounded FIFO of :class:`DeadLetterEntry` with exact totals.
+
+    ``entries()`` exposes the most recent :attr:`limit` records;
+    :attr:`total` counts every record ever added (the watermark the
+    ``*_dead_letter_total`` counters mirror).
+    """
+
+    def __init__(self, source: str, limit: int = DEAD_LETTER_LIMIT) -> None:
+        self.source = source
+        self.limit = int(limit)
+        self._entries: deque[DeadLetterEntry] = deque(maxlen=self.limit)
+        self.total = 0
+
+    def add(
+        self,
+        key: Any,
+        reason: str,
+        attempts: int = 1,
+        sim_time: float | None = None,
+        **fields: Any,
+    ) -> DeadLetterEntry:
+        """Record a terminal failure; emits counters + an error event."""
+        from ..obs import get_recorder
+
+        entry = DeadLetterEntry(
+            source=self.source,
+            key=str(key),
+            reason=reason,
+            attempts=attempts,
+            sim_time=sim_time,
+            fields=fields,
+        )
+        self._entries.append(entry)
+        self.total += 1
+        rec = get_recorder()
+        rec.counter(
+            "dead_letter_total", help="work units that exhausted retries (all sources)"
+        ).inc()
+        rec.counter(f"{self.source}_dead_letter_total").inc()
+        rec.event(
+            "dead_letter",
+            level="error",
+            source=self.source,
+            key=entry.key,
+            reason=reason,
+            attempts=attempts,
+        )
+        return entry
+
+    def entries(self) -> list[DeadLetterEntry]:
+        """The retained (most recent) entries, oldest first."""
+        return list(self._entries)
+
+    def keys(self) -> list[str]:
+        return [e.key for e in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return self.total > 0

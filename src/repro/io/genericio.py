@@ -21,6 +21,15 @@ File layout (little-endian)::
     header_json_len             uint64
     header_json                 UTF-8 JSON: schema, block index
     block data ...              raw variable bytes, per block, per var
+
+Failure model (see ``docs/failures.md``): writes and block reads run
+under a :class:`~repro.faults.RetryPolicy` at the ``"io.write"`` /
+``"io.read"`` injection sites.  Only injected faults and ``OSError``
+(transient file-system hiccups) are retried — a write simply re-opens
+and re-writes the file (idempotent), a read re-reads the block.
+Deterministic corruption (:class:`GenericIOError` on bad magic or CRC
+mismatch) propagates immediately: re-reading a corrupt file cannot
+help, and callers keep catching the type they already catch.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults import FaultInjected, RetryPolicy, maybe_inject, resolve_retry
 from ..obs import get_recorder
 
 __all__ = ["GenericIOError", "write_genericio", "read_genericio", "read_block", "GenericIOFile"]
@@ -54,11 +64,17 @@ def _dtype_token(dt: np.dtype) -> str:
     return np.dtype(dt).str  # e.g. '<f4'
 
 
-def write_genericio(path: str | os.PathLike, blocks: list[dict[str, np.ndarray]]) -> int:
+def write_genericio(
+    path: str | os.PathLike,
+    blocks: list[dict[str, np.ndarray]],
+    retry: RetryPolicy | None = None,
+) -> int:
     """Write ``blocks`` (one dict of equal-length arrays per rank) to ``path``.
 
     All blocks must share the same variable names and dtypes.  Returns the
     number of payload bytes written (used by the I/O cost accounting).
+    The physical write runs under ``retry`` (``None`` → the tree-wide
+    default) at the ``"io.write"`` fault site; re-writing is idempotent.
     """
     if not blocks:
         raise ValueError("need at least one block")
@@ -115,7 +131,10 @@ def write_genericio(path: str | os.PathLike, blocks: list[dict[str, np.ndarray]]
             break
 
     rec = get_recorder()
-    with rec.span("io.write", path=os.fspath(path), nbytes=payload_bytes):
+    fname = os.path.basename(os.fspath(path))
+
+    def _write_attempt() -> None:
+        maybe_inject("io.write", fname)
         with open(path, "wb") as fh:
             fh.write(MAGIC)
             fh.write(len(header_json).to_bytes(8, "little"))
@@ -123,16 +142,30 @@ def write_genericio(path: str | os.PathLike, blocks: list[dict[str, np.ndarray]]
             for blk in blocks:
                 for name in names:
                     fh.write(np.ascontiguousarray(blk[name]).tobytes())
+
+    with rec.span("io.write", path=os.fspath(path), nbytes=payload_bytes):
+        resolve_retry(retry).run(
+            _write_attempt,
+            site="io.write",
+            key=fname,
+            retryable=(FaultInjected, OSError),
+        )
     rec.counter("io_write_bytes_total").inc(payload_bytes)
     rec.counter("io_files_written_total").inc()
     return payload_bytes
 
 
 class GenericIOFile:
-    """Reader handle exposing the schema and per-block access."""
+    """Reader handle exposing the schema and per-block access.
 
-    def __init__(self, path: str | os.PathLike):
+    Block reads run under ``retry`` (``None`` → the tree-wide default)
+    at the ``"io.read"`` fault site; injected faults and ``OSError``
+    are retried, :class:`GenericIOError` (corruption) is not.
+    """
+
+    def __init__(self, path: str | os.PathLike, retry: RetryPolicy | None = None):
         self.path = os.fspath(path)
+        self.retry = resolve_retry(retry)
         with open(self.path, "rb") as fh:
             magic = fh.read(len(MAGIC))
             if magic != MAGIC:
@@ -155,9 +188,33 @@ class GenericIOFile:
         return int(self._blocks[block]["nrows"])
 
     def read_block(self, block: int, verify: bool = True) -> dict[str, np.ndarray]:
-        """Read one block, optionally verifying per-variable CRC32."""
+        """Read one block, optionally verifying per-variable CRC32.
+
+        The physical read is retried on injected faults / ``OSError``;
+        a CRC mismatch raises :class:`GenericIOError` immediately.
+        """
         if not 0 <= block < self.num_blocks:
             raise IndexError(f"block {block} out of range [0, {self.num_blocks})")
+        key = f"{os.path.basename(self.path)}:{block}"
+        out, nbytes = self.retry.call(
+            self._read_block_attempt,
+            block,
+            verify,
+            key,
+            site="io.read",
+            key=key,
+            retryable=(FaultInjected, OSError),
+        )
+        rec = get_recorder()
+        rec.counter("io_read_bytes_total").inc(nbytes)
+        rec.counter("io_blocks_read_total").inc()
+        return out
+
+    def _read_block_attempt(
+        self, block: int, verify: bool, key: str
+    ) -> tuple[dict[str, np.ndarray], int]:
+        """One physical block read (the unit the retry policy repeats)."""
+        maybe_inject("io.read", key)
         entry = self._blocks[block]
         out: dict[str, np.ndarray] = {}
         nbytes = 0
@@ -175,10 +232,7 @@ class GenericIOFile:
                 arr = np.frombuffer(raw, dtype=np.dtype(dtok))
                 out[name] = arr.reshape(var["shape"])
                 nbytes += var["nbytes"]
-        rec = get_recorder()
-        rec.counter("io_read_bytes_total").inc(nbytes)
-        rec.counter("io_blocks_read_total").inc()
-        return out
+        return out, nbytes
 
     def read_all(self, verify: bool = True) -> dict[str, np.ndarray]:
         """Concatenate every block into one bundle (rank order)."""

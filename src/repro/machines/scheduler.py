@@ -11,6 +11,18 @@ the analysis clusters.
 The simulation clock is event-driven: :meth:`Scheduler.run` advances to
 each job completion and starts whatever newly fits.  Dependencies
 (``after=``) express "queued after sim" orderings.
+
+Failure model (see ``docs/failures.md``): a job's real ``payload`` runs
+under a :class:`~repro.faults.RetryPolicy` at the
+``"scheduler.payload"`` injection site, and jobs may carry a
+``deadline`` — a wall-limit on the *simulated* duration; a job whose
+``duration`` exceeds it is cut off at the deadline and counted as
+failed (the batch-system wall-clock kill).  A failed job is requeued up
+to ``max_requeues`` times (fresh ``submit_time`` = current sim clock,
+FIFO order preserved); after that it lands in the scheduler's bounded
+:class:`~repro.faults.DeadLetterBox` (capped at
+:data:`~repro.faults.DEAD_LETTER_LIMIT` retained entries, exact
+``total`` regardless) and the run continues without it.
 """
 
 from __future__ import annotations
@@ -20,6 +32,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..faults import DEAD_LETTER_LIMIT, DeadLetterBox, RetryPolicy, maybe_inject, resolve_retry
 from ..obs import get_recorder
 from .machine import MachineSpec
 
@@ -39,6 +52,11 @@ class Job:
     workflow uses to run its actual analysis (e.g. an off-line center
     job on the :mod:`repro.exec` engine) at the moment the scheduler
     grants it nodes.  Its return value lands in ``result``.
+
+    ``deadline`` caps the *simulated* runtime (the batch wall limit): a
+    job whose ``duration`` exceeds it ends at ``start + deadline`` and
+    counts as failed.  A failed job (deadline or payload failure) is
+    requeued up to ``max_requeues`` times, then dead-lettered.
     """
 
     name: str
@@ -47,11 +65,16 @@ class Job:
     submit_time: float = 0.0
     after: list["Job"] = field(default_factory=list)
     payload: Callable[[], Any] | None = None
+    deadline: float | None = None
+    max_requeues: int = 0
 
     # filled by the scheduler
     start_time: float | None = None
     end_time: float | None = None
     result: Any = None
+    attempts: int = 0
+    failed: bool = False
+    error: str | None = None
 
     @property
     def queue_wait(self) -> float:
@@ -67,12 +90,38 @@ class Job:
 
 
 class Scheduler:
-    """Event-driven FIFO scheduler with capacity + policy constraints."""
+    """Event-driven FIFO scheduler with capacity + policy constraints.
 
-    def __init__(self, machine: MachineSpec):
+    Parameters
+    ----------
+    machine:
+        The simulated machine (nodes + queue policy).
+    payload_retry:
+        :class:`~repro.faults.RetryPolicy` for each job's real payload
+        (``None`` → the tree-wide default of 3 attempts).  Pass
+        ``RetryPolicy(max_attempts=1)`` to disable retrying.
+    dead_letter_limit:
+        Cap on *retained* dead-letter entries; the box's ``total``
+        stays exact beyond it.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        payload_retry: RetryPolicy | None = None,
+        dead_letter_limit: int = DEAD_LETTER_LIMIT,
+    ):
         self.machine = machine
         self.jobs: list[Job] = []
+        self.payload_retry = resolve_retry(payload_retry)
+        self.dead_letter = DeadLetterBox("scheduler", limit=dead_letter_limit)
         self._counter = itertools.count()
+
+    def _run_payload(self, job: Job) -> Any:
+        """One payload attempt (the unit the retry policy repeats)."""
+        maybe_inject("scheduler.payload", key=job.name)
+        assert job.payload is not None
+        return job.payload()
 
     def submit(self, job: Job) -> Job:
         """Queue a job (validated against machine size)."""
@@ -128,8 +177,21 @@ class Scheduler:
                     small_cap = policy.max_concurrent_small(job.n_nodes)
                     if small_cap is not None and small_running() >= small_cap:
                         continue  # policy-blocked; later (bigger) jobs may pass
+                    job.attempts += 1
+                    job.failed = False
+                    job.error = None
+                    sim_duration = job.duration
+                    if job.deadline is not None and sim_duration > job.deadline:
+                        # batch wall-clock kill: the job is cut off at the
+                        # deadline and counted as failed
+                        sim_duration = job.deadline
+                        job.failed = True
+                        job.error = (
+                            f"deadline: duration {job.duration} exceeds "
+                            f"wall limit {job.deadline}"
+                        )
                     job.start_time = clock
-                    job.end_time = clock + job.duration
+                    job.end_time = clock + sim_duration
                     makespan = max(makespan, job.end_time)
                     free -= job.n_nodes
                     heapq.heappush(running, (job.end_time, next(self._counter), job))
@@ -149,17 +211,40 @@ class Scheduler:
                         sim_end=job.end_time,
                         queue_wait=job.queue_wait,
                     )
-                    if job.payload is not None:
-                        # execute the attached real work at grant time
+                    if job.payload is not None and not job.failed:
+                        # execute the attached real work at grant time,
+                        # under the payload retry policy (with
+                        # "scheduler.payload" fault injection per attempt)
                         with rec.span(
                             "scheduler.job_exec", job=job.name, n_nodes=job.n_nodes
                         ):
-                            job.result = job.payload()
-                        rec.counter("scheduler_payloads_executed_total").inc()
+                            try:
+                                outcome = self.payload_retry.run(
+                                    self._run_payload,
+                                    job,
+                                    site="scheduler.payload",
+                                    key=job.name,
+                                )
+                            except Exception as exc:
+                                job.failed = True
+                                job.error = f"{type(exc).__name__}: {exc}"
+                                rec.event(
+                                    "scheduler.payload_failed",
+                                    level="warning",
+                                    job=job.name,
+                                    error=job.error,
+                                )
+                            else:
+                                job.result = outcome.value
+                                rec.counter(
+                                    "scheduler_payloads_executed_total"
+                                ).inc()
             if running:
                 end, _, job = heapq.heappop(running)
                 clock = max(clock, end)
                 free += job.n_nodes
+                if job.failed:
+                    self._resolve_failure(job, pending, clock)
             elif pending:
                 # nothing running: advance to the next relevant instant
                 candidates = [j.submit_time for j in pending if j.submit_time > clock]
@@ -183,5 +268,41 @@ class Scheduler:
             machine=self.machine.name,
             jobs=len(self.jobs),
             makespan=makespan,
+            dead_lettered=self.dead_letter.total,
         )
         return makespan
+
+    def _resolve_failure(self, job: Job, pending: list[Job], clock: float) -> None:
+        """Requeue a failed job, or dead-letter it when requeues run out."""
+        rec = get_recorder()
+        rec.counter("scheduler_jobs_failed_total").inc()
+        rec.event(
+            "scheduler.job_failed",
+            level="error",
+            job=job.name,
+            attempts=job.attempts,
+            error=job.error,
+            sim_time=clock,
+        )
+        if job.attempts <= job.max_requeues:
+            # fresh submission at the current sim clock; appending keeps
+            # FIFO order (everything already pending was submitted earlier)
+            job.submit_time = clock
+            job.start_time = None
+            job.end_time = None
+            pending.append(job)
+            rec.counter("scheduler_requeues_total").inc()
+            rec.event(
+                "scheduler.job_requeued",
+                level="warning",
+                job=job.name,
+                attempt=job.attempts,
+                sim_time=clock,
+            )
+        else:
+            self.dead_letter.add(
+                job.name,
+                job.error or "failed",
+                attempts=job.attempts,
+                sim_time=clock,
+            )

@@ -13,6 +13,14 @@ analysis: named items (one per snapshot) with block structure, put/get
 semantics, byte accounting, and optional consume-once draining.  The
 live workflow driver uses it to run the in-transit variant for real —
 no files touch disk for the Level 2 product.
+
+Failure model (see ``docs/failures.md``): each put/get transfer runs
+under a :class:`~repro.faults.RetryPolicy` at the ``"staging.put"`` /
+``"staging.get"`` injection sites — the flaky-interconnect model for
+the hypothetical NVRAM device.  Only injected faults are retried;
+real back-pressure (``MemoryError`` when the device is full) and
+consumer errors (``KeyError``, ``TimeoutError``) propagate immediately,
+exactly as before.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..faults import FaultInjected, RetryPolicy, maybe_inject, resolve_retry
 from ..obs import get_recorder
 
 __all__ = ["StagedItem", "StagingArea"]
@@ -62,16 +71,32 @@ class StagingArea:
     enforced in bytes (NVRAM devices are finite); producers get a
     ``MemoryError`` when the device is full — the back-pressure a real
     burst buffer exhibits.
+
+    ``retry`` governs transfer retries at the ``"staging.put"`` /
+    ``"staging.get"`` fault-injection sites (``None`` → the tree-wide
+    default policy); only :class:`~repro.faults.FaultInjected` is
+    retried, so real back-pressure still propagates immediately.
     """
 
-    def __init__(self, capacity_bytes: int | None = None):
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         self.capacity_bytes = capacity_bytes
+        self.retry = resolve_retry(retry)
         self._items: dict[str, StagedItem] = {}
         self._lock = threading.Lock()
         self._event = threading.Condition(self._lock)
         self.bytes_staged_total = 0
         self.puts = 0
         self.gets = 0
+
+    def _transfer(self, site: str, name: str) -> None:
+        """One staged transfer attempt over the (injectable) interconnect."""
+        self.retry.call(
+            maybe_inject, site, name, site=site, key=name, retryable=(FaultInjected,)
+        )
 
     # -- producer side ---------------------------------------------------------
 
@@ -82,6 +107,7 @@ class StagingArea:
             name=name,
             blocks=[{k: np.asarray(v) for k, v in b.items()} for b in blocks],
         )
+        self._transfer("staging.put", name)
         with rec.span("staging.put", item=name, nbytes=item.nbytes):
             with self._event:
                 if name in self._items:
@@ -127,6 +153,7 @@ class StagingArea:
     def get(self, name: str, drain: bool = True) -> StagedItem:
         """Fetch a staged item; ``drain`` frees the device space."""
         rec = get_recorder()
+        self._transfer("staging.get", name)
         with self._lock:
             if name not in self._items:
                 raise KeyError(f"no staged item {name!r}")
@@ -139,6 +166,7 @@ class StagingArea:
     def wait_for(self, name: str, timeout: float = 30.0, drain: bool = True) -> StagedItem:
         """Block until ``name`` is staged (the in-transit consumer path)."""
         rec = get_recorder()
+        self._transfer("staging.get", name)
         t0 = time.perf_counter()
         with rec.span("staging.wait", item=name):
             with self._event:

@@ -9,11 +9,20 @@ Level 2 I/O entirely).
 
 Devices track bytes written/read and convert them to wall seconds; the
 accounting feeds Table 3/4's I/O columns.
+
+Failure model (see ``docs/failures.md``): each transfer runs under a
+:class:`~repro.faults.RetryPolicy` at the ``"storage.write"`` /
+``"storage.read"`` injection sites.  A failed attempt means the
+transfer is re-sent, so the returned wall-clock cost scales with the
+number of attempts; the byte accounting counts the delivered payload
+once (Table 3/4 report data moved, not wire traffic).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..faults import FaultInjected, RetryPolicy, maybe_inject, resolve_retry
 
 __all__ = ["StorageDevice", "lustre_like", "burst_buffer_like"]
 
@@ -31,6 +40,9 @@ class StorageDevice:
     write_per_node: float  # bytes/s per writing node
     read_per_node: float
     aggregate_cap: float = float("inf")
+    #: transfer retry policy at the storage.* fault sites (``None`` →
+    #: the tree-wide default; faults are off unless a plan is active)
+    retry: RetryPolicy | None = None
     #: cumulative accounting
     bytes_written: int = 0
     bytes_read: int = 0
@@ -42,17 +54,39 @@ class StorageDevice:
             raise ValueError("need at least one node")
         return min(per_node * n_nodes, self.aggregate_cap)
 
+    def _transfer_attempts(self, site: str, seq: int) -> int:
+        """Run one injectable transfer; returns how many attempts it took."""
+        outcome = resolve_retry(self.retry).run(
+            maybe_inject,
+            site,
+            f"{self.name}:{seq}",
+            site=site,
+            key=f"{self.name}:{seq}",
+            retryable=(FaultInjected,),
+        )
+        return outcome.attempts
+
     def write_seconds(self, nbytes: int, n_nodes: int) -> float:
-        """Record a write and return its wall-clock cost."""
+        """Record a write and return its wall-clock cost.
+
+        Under an active fault plan a failed attempt re-sends the
+        transfer, so the cost is multiplied by the attempt count.
+        """
+        attempts = self._transfer_attempts("storage.write", len(self.write_events))
         self.bytes_written += int(nbytes)
         self.write_events.append((int(nbytes), n_nodes))
-        return nbytes / self._bandwidth(self.write_per_node, n_nodes)
+        return attempts * nbytes / self._bandwidth(self.write_per_node, n_nodes)
 
     def read_seconds(self, nbytes: int, n_nodes: int) -> float:
-        """Record a read and return its wall-clock cost."""
+        """Record a read and return its wall-clock cost.
+
+        Under an active fault plan a failed attempt re-reads the
+        transfer, so the cost is multiplied by the attempt count.
+        """
+        attempts = self._transfer_attempts("storage.read", len(self.read_events))
         self.bytes_read += int(nbytes)
         self.read_events.append((int(nbytes), n_nodes))
-        return nbytes / self._bandwidth(self.read_per_node, n_nodes)
+        return attempts * nbytes / self._bandwidth(self.read_per_node, n_nodes)
 
 
 def lustre_like() -> StorageDevice:

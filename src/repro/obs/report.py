@@ -22,7 +22,7 @@ from typing import Any, Iterable
 from .events import Event
 from .spans import Span, write_chrome_trace
 
-__all__ = ["PhaseStat", "RunTelemetry", "PHASE_RULES"]
+__all__ = ["PhaseStat", "RunTelemetry", "PHASE_RULES", "FAILURE_COUNTERS"]
 
 #: Span-name prefix -> phase label (first match wins; order matters).
 PHASE_RULES: tuple[tuple[str, str], ...] = (
@@ -34,7 +34,22 @@ PHASE_RULES: tuple[tuple[str, str], ...] = (
     ("io.", "I/O"),
     ("exec.", "Parallel exec"),
     ("scheduler.", "Scheduler"),
+    ("retry.", "Resilience"),
     ("workflow.", "Workflow"),
+)
+
+#: Counters summarized by :meth:`RunTelemetry.failure_stats` (metric
+#: name -> short label used in the failure section of the report).
+FAILURE_COUNTERS: tuple[tuple[str, str], ...] = (
+    ("faults_injected_total", "faults injected"),
+    ("retries_total", "retries"),
+    ("retry_exhausted_total", "retries exhausted"),
+    ("dead_letter_total", "dead-lettered"),
+    ("listener_jobs_failed_total", "listener jobs failed"),
+    ("scheduler_jobs_failed_total", "scheduler jobs failed"),
+    ("scheduler_requeues_total", "scheduler requeues"),
+    ("exec_item_failures_total", "exec item failures"),
+    ("exec_poisoned_items_total", "exec items poisoned"),
 )
 
 OTHER_PHASE = "Other"
@@ -173,6 +188,27 @@ class RunTelemetry:
             title = f"Per-run phase breakdown{run} — wall {wall:.3f} s"
         return _render_table(headers, rows, title=title)
 
+    def failure_stats(self) -> dict[str, float]:
+        """Non-zero failure/resilience counters for this run.
+
+        Empty for a clean run, so reports only grow a failure section
+        when there is something to say.
+        """
+        return {
+            name: self.metrics[name]
+            for name, _ in FAILURE_COUNTERS
+            if self.metrics.get(name)
+        }
+
+    def failure_table(self, title: str = "Failure / resilience summary") -> str:
+        """Render the failure section (empty string for a clean run)."""
+        stats = self.failure_stats()
+        if not stats:
+            return ""
+        labels = dict(FAILURE_COUNTERS)
+        rows = [[labels[name], f"{value:g}"] for name, value in stats.items()]
+        return _render_table(["What", "Count"], rows, title=title)
+
     def span_table(self, top: int = 20) -> str:
         """Per-span-name totals, heaviest first (the hot-path view)."""
         totals: dict[str, tuple[int, float]] = {}
@@ -210,6 +246,7 @@ class RunTelemetry:
                 for p, ps in self.phase_stats().items()
             },
             "metrics": dict(self.metrics),
+            "failures": self.failure_stats(),
         }
 
 

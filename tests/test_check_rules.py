@@ -1,4 +1,4 @@
-"""Unit tests for the repro.check static-analysis rules (RPR001-RPR008).
+"""Unit tests for the repro.check static-analysis rules (RPR001-RPR009).
 
 Each rule gets at least one positive fixture (violating source that must
 be flagged), one negative fixture (conforming source that must pass),
@@ -29,8 +29,8 @@ def codes(src: str, rel: str = ANALYSIS, config: CheckConfig | None = None) -> l
 # -- registry ------------------------------------------------------------------
 
 
-def test_registry_has_all_eight_rules():
-    assert sorted(all_rules()) == [f"RPR{i:03d}" for i in range(1, 9)]
+def test_registry_has_all_nine_rules():
+    assert sorted(all_rules()) == [f"RPR{i:03d}" for i in range(1, 10)]
 
 
 def test_parse_error_reports_rpr000():
@@ -312,6 +312,98 @@ def test_rpr008_return_forwarding_ok():
                 return self.tracer.span(name)
     """
     assert codes(src) == []
+
+
+# -- RPR009: hand-rolled sleep/retry loops ------------------------------------
+
+
+def test_rpr009_sleep_retry_loop_flagged():
+    src = """
+        import time
+
+        def fetch(submit):
+            while True:
+                try:
+                    return submit()
+                except OSError:
+                    time.sleep(1.0)
+    """
+    assert codes(src) == ["RPR009"]
+
+
+def test_rpr009_for_loop_with_backoff_flagged():
+    src = """
+        import time
+
+        def fetch(submit):
+            for attempt in range(3):
+                try:
+                    return submit()
+                except OSError:
+                    time.sleep(2 ** attempt)
+    """
+    assert codes(src) == ["RPR009"]
+
+
+def test_rpr009_plain_poll_loop_ok():
+    """Sleeping in a loop without exception handling is a poll loop,
+    not a shadow retry mechanism."""
+    src = """
+        import time
+
+        def poll(ready):
+            while not ready():
+                time.sleep(0.1)
+    """
+    assert codes(src) == []
+
+
+def test_rpr009_try_without_sleep_ok():
+    src = """
+        def drain(q):
+            while True:
+                try:
+                    q.get_nowait()
+                except Exception:
+                    raise
+    """
+    assert codes(src) == []
+
+
+def test_rpr009_injected_sleep_callable_ok():
+    """RetryPolicy's own pattern: the sleeper is injected, so the loop
+    does not resolve to time.sleep."""
+    src = """
+        import time
+
+        def run(fn, do_sleep=None):
+            do_sleep = time.sleep if do_sleep is None else do_sleep
+            for attempt in range(3):
+                try:
+                    return fn()
+                except Exception as exc:
+                    do_sleep(0.01)
+    """
+    assert codes(src, config=CheckConfig(select=("RPR009",))) == []
+
+
+def test_rpr009_nested_function_owns_its_statements():
+    """A try/sleep inside a nested def is not attributed to the outer
+    loop (the nested function is judged on its own — and without a loop
+    of its own it is not a retry loop)."""
+    src = """
+        import time
+
+        def outer(items):
+            for item in items:
+                def handler():
+                    try:
+                        item()
+                    except Exception:
+                        time.sleep(0.1)
+                handler()
+    """
+    assert codes(src, config=CheckConfig(select=("RPR009",))) == []
 
 
 # -- select / ignore / scoping helpers ----------------------------------------
