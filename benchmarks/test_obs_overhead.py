@@ -1,0 +1,143 @@
+"""Journaled-instrumentation overhead gate for the combined workflow.
+
+The durable run journal (PR: ``repro.obs.journal``) streams every
+event, span, and metrics snapshot of a combined run to disk.  That only
+earns its keep if it is effectively free: this harness runs the ng=32
+combined workflow **plain** (telemetry off, no journal) and
+**journaled** (``journal_dir=`` — live recorder + crash-safe JSONL
+stream + exec-worker snapshot shipping) and measures the wall-time
+ratio.
+
+Results land in ``BENCH_obs.json`` at the repo root (uploaded as a CI
+artifact) plus a rendered table under ``benchmarks/results/``.  The
+JSON doubles as a ``python -m repro.obs diff --bench`` baseline.
+
+Overhead gating
+---------------
+Sub-second walls are noisy on busy hosts, so each variant takes the
+best of ``OBS_BENCH_REPEATS`` (default 7) alternating runs, and when
+the gate is enforced a failing measurement accumulates up to
+``OBS_BENCH_ATTEMPTS`` (default 3) rounds of extra samples before
+asserting — a sustained regression still fails, a one-off noise spike
+does not.  The <5 % assertion is enforced when
+``OBS_BENCH_REQUIRE_OVERHEAD=1`` (as CI sets);
+``OBS_BENCH_MAX_OVERHEAD`` overrides the threshold.
+"""
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+
+from repro.core import run_combined_workflow
+from repro.obs.journal import read_journal
+from repro.sim import SimulationConfig
+
+from conftest import save_result
+
+BENCH_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_obs.json")
+)
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _config() -> SimulationConfig:
+    return SimulationConfig(
+        np_per_dim=32, box=50.0, z_initial=30.0, z_final=0.0, n_steps=60, ng=32
+    )
+
+
+def _run_once(tmp_path_factory, journaled: bool, tag: str):
+    d = tmp_path_factory.mktemp(f"obs_bench_{tag}")
+    kwargs = dict(
+        spool_dir=str(d / "spool"),
+        threshold=250,
+        min_count=40,
+        n_ranks=4,
+        analysis_workers=2,
+    )
+    t0 = time.perf_counter()
+    if journaled:
+        run_combined_workflow(
+            _config(), journal_dir=str(d / "journal"), run_id="bench", **kwargs
+        )
+    else:
+        run_combined_workflow(_config(), **kwargs)
+    wall = time.perf_counter() - t0
+    journal_dir = str(d / "journal" / "bench") if journaled else None
+    return wall, journal_dir
+
+
+def test_obs_overhead(tmp_path_factory):
+    repeats = int(os.environ.get("OBS_BENCH_REPEATS", "7"))
+    cpu_count = _cpu_count()
+
+    # one warm-up of each variant (numpy/FFT plan warm-up, import costs)
+    _run_once(tmp_path_factory, False, "warm0")
+    _run_once(tmp_path_factory, True, "warm1")
+
+    required = os.environ.get("OBS_BENCH_REQUIRE_OVERHEAD") == "1"
+    limit = float(os.environ.get("OBS_BENCH_MAX_OVERHEAD", "0.05"))
+    attempts = int(os.environ.get("OBS_BENCH_ATTEMPTS", "3")) if required else 1
+
+    plain_walls, journal_walls = [], []
+    journal_dir = None
+    plain = journaled = overhead = 0.0
+    for attempt in range(attempts):
+        for i in range(repeats):  # alternate to spread host noise fairly
+            tag = f"a{attempt}"
+            plain_walls.append(_run_once(tmp_path_factory, False, f"{tag}p{i}")[0])
+            wall, journal_dir = _run_once(tmp_path_factory, True, f"{tag}j{i}")
+            journal_walls.append(wall)
+        plain = min(plain_walls)
+        journaled = min(journal_walls)
+        overhead = (journaled - plain) / plain
+        if not required or overhead < limit:
+            break
+
+    # the journaled run must actually have produced a complete journal
+    assert journal_dir is not None
+    view = read_journal(journal_dir)
+    assert view.complete and not view.truncated and view.corrupt == 0
+    n_records = len(view.records)
+    journal_bytes = os.path.getsize(os.path.join(journal_dir, "journal.jsonl"))
+
+    result = {
+        "name": "obs_overhead",
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "cpu_count": cpu_count,
+        "repeats": len(plain_walls),
+        "config": {"np_per_dim": 32, "ng": 32, "n_steps": 60, "analysis_workers": 2},
+        "plain_seconds": plain,
+        "journaled_seconds": journaled,
+        "overhead_frac": overhead,
+        "journal_records": n_records,
+        "journal_bytes": journal_bytes,
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    n = len(plain_walls)
+    lines = [
+        "Journaled-instrumentation overhead (ng=32 combined workflow)",
+        f"  cpu_count          : {cpu_count}",
+        f"  best-of-{n} plain     : {plain * 1000.0:8.1f} ms",
+        f"  best-of-{n} journaled : {journaled * 1000.0:8.1f} ms",
+        f"  overhead           : {overhead * 100.0:+.2f}%",
+        f"  journal            : {n_records} records, {journal_bytes} bytes",
+    ]
+    save_result("obs_overhead", "\n".join(lines))
+
+    if required:
+        assert overhead < limit, (
+            f"journaled instrumentation costs {overhead * 100.0:.2f}% "
+            f"(limit {limit * 100.0:.1f}%): plain {plain:.3f}s vs "
+            f"journaled {journaled:.3f}s"
+        )

@@ -1,4 +1,4 @@
-"""The determinism & resource-safety rule set (RPR001-RPR009).
+"""The determinism & resource-safety rule set (RPR001-RPR010).
 
 Every rule is grounded in an invariant this codebase actually relies
 on: the work-stealing engine's bit-identical serial/parallel guarantee
@@ -27,6 +27,9 @@ Code         Invariant enforced
 ``RPR009``   No hand-rolled ``time.sleep`` retry loops — retrying goes
              through :class:`repro.faults.RetryPolicy` (seeded backoff,
              telemetry, fault injection).
+``RPR010``   Library code must not ``print()`` — diagnostics go through
+             :mod:`repro.obs` events so they reach the run journal and
+             the JSONL sinks (CLI entry points are exempt).
 ===========  ==================================================================
 """
 
@@ -600,3 +603,40 @@ class SleepRetryLoop(Rule):
             if isinstance(n, stop):
                 continue
             stack.extend(ast.iter_child_nodes(n))
+
+
+# -- RPR010: print() in library code ------------------------------------------
+
+#: Module basenames that ARE the user-facing console — the one place
+#: ``print`` is the correct output channel.
+_CLI_BASENAMES = frozenset({"cli.py", "__main__.py"})
+
+
+@register_rule
+class LibraryPrint(Rule):
+    """``print()`` in library code is telemetry that escapes the run
+    journal: it cannot be correlated to a run / step / rank, does not
+    reach the JSONL sinks or ``python -m repro.obs tail``, and garbles
+    the output of the CLIs that legitimately own stdout.  Diagnostics
+    go through :meth:`repro.obs.TelemetryRecorder.event` (structured,
+    journaled, rate-bounded).  CLI surfaces (``cli.py`` /
+    ``__main__.py``) are exempt — printing is their job."""
+
+    code = "RPR010"
+    name = "library-print"
+    summary = "print() in library code (route through repro.obs events)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        import os
+
+        if os.path.basename(ctx.path) in _CLI_BASENAMES:
+            return
+        for node, resolved in _walk_calls(ctx):
+            if resolved == "print":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() in library code bypasses the run journal; emit a "
+                    "repro.obs event (or move the output to a cli.py/__main__.py "
+                    "surface)",
+                )

@@ -239,13 +239,18 @@ def _atexit_report() -> None:
     if not leaks:
         return
     total = sum(leak["nbytes"] for leak in leaks)
-    print(
+    # RPR010 suppressed: this runs at interpreter exit, after telemetry
+    # recorders and journal sinks may already be torn down — stderr is
+    # the only channel guaranteed to still exist.
+    print(  # repro: noqa[RPR010]
         f"repro.check.sanitize: {len(leaks)} shared-memory store(s) never "
         f"unlinked ({total} bytes) — RPR005 violation observed at runtime:",
         file=sys.stderr,
     )
     for leak in leaks:
-        print(f"  fields={leak['fields']} segments={leak['segments']}", file=sys.stderr)
+        print(  # repro: noqa[RPR010]
+            f"  fields={leak['fields']} segments={leak['segments']}", file=sys.stderr
+        )
     _emit("sanitize.shm_leak", level="error", leaks=len(leaks), nbytes=total)
 
 

@@ -175,6 +175,8 @@ def run_combined_workflow(
     listener_poll: float = 0.1,
     analysis_workers: int | None = None,
     retry: RetryPolicy | None = None,
+    journal_dir: str | os.PathLike | None = None,
+    run_id: str | None = None,
 ) -> CombinedRunResult:
     """Run the combined in-situ/off-line workflow for real.
 
@@ -193,7 +195,31 @@ def run_combined_workflow(
     run instead of aborting it: the result carries ``degraded=True``
     plus one :class:`~repro.core.accounting.FailureRecord` per missing
     snapshot, and ``catalog`` contains whatever legs completed.
+
+    ``journal_dir`` makes the run *durable*: a run directory
+    ``<journal_dir>/<run_id>/`` is created with a manifest (config hash,
+    seeds, fault plan, code version) and every event / span / metric
+    snapshot / failure record streams into its crash-safe journal
+    (see :mod:`repro.obs.journal`; explore it with
+    ``python -m repro.obs``).  A live recorder is installed for the
+    run's duration if telemetry was off.  ``run_id`` names the run
+    directory (defaults to the recorder's generated id).
     """
+    if journal_dir is not None:
+        return _run_combined_journaled(
+            config,
+            spool_dir,
+            threshold,
+            linking_length_factor=linking_length_factor,
+            min_count=min_count,
+            n_ranks=n_ranks,
+            coschedule=coschedule,
+            listener_poll=listener_poll,
+            analysis_workers=analysis_workers,
+            retry=retry,
+            journal_dir=journal_dir,
+            run_id=run_id,
+        )
     rec = get_recorder()
     spool_dir = os.fspath(spool_dir)
     os.makedirs(spool_dir, exist_ok=True)
@@ -297,6 +323,95 @@ def run_combined_workflow(
     )
 
 
+def _run_combined_journaled(
+    config: SimulationConfig,
+    spool_dir: str | os.PathLike,
+    threshold: int,
+    *,
+    linking_length_factor: float,
+    min_count: int,
+    n_ranks: int,
+    coschedule: bool,
+    listener_poll: float,
+    analysis_workers: int | None,
+    retry: RetryPolicy | None,
+    journal_dir: str | os.PathLike,
+    run_id: str | None,
+) -> CombinedRunResult:
+    """The durable wrapper around :func:`run_combined_workflow`.
+
+    Opens the run directory + journal, scopes the recorder to the run
+    id, and guarantees the journal's terminal records (failures, final
+    metrics snapshot, ``run.end``) even when the run raises — a crashed
+    run keeps its tail via the journal's ``atexit`` flush.
+    """
+    from dataclasses import asdict
+
+    from ..faults import get_fault_plan, resolve_retry
+    from ..obs import TelemetryRecorder, set_recorder
+    from ..obs.journal import RunJournal
+
+    rec = get_recorder()
+    previous_rec = None
+    if not getattr(rec, "enabled", False):
+        rec = TelemetryRecorder(run_id=run_id)
+        previous_rec = set_recorder(rec)
+    rid = run_id or rec.run_id or "run"
+    plan = get_fault_plan()
+    journal = RunJournal.create(
+        journal_dir,
+        rid,
+        config={
+            "workflow": {
+                "kind": "combined",
+                "threshold": threshold,
+                "linking_length_factor": linking_length_factor,
+                "min_count": min_count,
+                "n_ranks": n_ranks,
+                "coschedule": coschedule,
+                "analysis_workers": analysis_workers,
+            },
+            "sim": asdict(config),
+        },
+        seeds={"sim": config.seed, "retry": resolve_retry(retry).seed},
+        fault_plan=plan.to_dict() if plan is not None else None,
+    )
+    status = "ok"
+    result: CombinedRunResult | None = None
+    try:
+        with rec.run_scope(rid):
+            rec.attach_journal(journal)
+            try:
+                result = run_combined_workflow(
+                    config,
+                    spool_dir,
+                    threshold,
+                    linking_length_factor=linking_length_factor,
+                    min_count=min_count,
+                    n_ranks=n_ranks,
+                    coschedule=coschedule,
+                    listener_poll=listener_poll,
+                    analysis_workers=analysis_workers,
+                    retry=retry,
+                )
+            except BaseException:
+                status = "error"
+                raise
+            finally:
+                for f in result.failures if result is not None else []:
+                    journal.failure(dict(f.as_dict(), run=rid))
+                journal.metrics_snapshot(rec.metrics.as_dict(), label="final")
+                rec.detach_journal()
+                journal.close(
+                    status=status,
+                    degraded=bool(result is not None and result.degraded),
+                )
+    finally:
+        if previous_rec is not None:
+            set_recorder(previous_rec)
+    return result
+
+
 _STEP_RE = re.compile(r"step(\d+)")
 
 
@@ -355,8 +470,12 @@ def run_intransit_workflow(
 
     offline_catalogs: list[HaloCatalog] = []
     errors: list[BaseException] = []
+    # trace context captured on the driver thread: the consumer binds to
+    # it so its offline.* spans parent under this workflow's trace
+    consumer_trace = rec.trace_context()
 
     def consumer() -> None:
+        rec.bind_thread(consumer_trace)
         try:
             item = staging.wait_for(f"l2_step{last_step:04d}", timeout=600.0)
             with rec.span("offline.center_job", step=last_step, transport="staging"):

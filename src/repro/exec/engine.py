@@ -64,7 +64,8 @@ from ..faults import (
     maybe_inject,
     set_fault_plan,
 )
-from ..obs import NullRecorder, TelemetryRecorder, get_recorder
+from ..obs import NullRecorder, TelemetryRecorder, get_recorder, set_recorder
+from ..obs.context import export_snapshot, merge_snapshot
 from .sharedmem import SharedParticleStore
 from .workqueue import HaloWorkQueue, WorkItem
 
@@ -302,12 +303,21 @@ def _worker_main(
     task: dict[str, Any],
     plan_dict: dict[str, Any] | None = None,
     catch_item_errors: bool = False,
+    trace: dict[str, Any] | None = None,
 ) -> None:
     if plan_dict is not None:
         # install a fresh copy of the parent's fault plan (spawn contexts
         # don't inherit it; fork contexts get deterministic per-worker
         # attempt state this way instead of the parent's history)
         set_fault_plan(FaultPlan.from_dict(plan_dict))
+    local_rec: TelemetryRecorder | None = None
+    if trace is not None:
+        # the parent shipped a trace context: record telemetry locally
+        # (events from fault injection, counters, any kernel spans) and
+        # ship one snapshot back with the "done" message, so the parent's
+        # journal/trace covers this process too
+        local_rec = TelemetryRecorder(run_id=trace.get("run"), capacity=4096)
+        set_recorder(local_rec)
     store = SharedParticleStore.attach(spec)
     runner = _TASK_RUNNERS[task["task"]]
     cache: dict[int, np.ndarray] = {}
@@ -350,7 +360,8 @@ def _worker_main(
                 cursor.value = nxt + 1
             steals += 1
             run_one(pool_ids[nxt], stolen=True)
-        result_q.put(("done", worker_id, busy, steals))
+        snap = export_snapshot(local_rec) if local_rec is not None else None
+        result_q.put(("done", worker_id, busy, steals, snap))
     except BaseException:  # repro: noqa[RPR006] - traceback is shipped to the
         # parent over result_q, which re-raises it as WorkerError (crash
         # isolation): the failure is loudly observable, never swallowed.
@@ -530,6 +541,12 @@ class ExecutionEngine:
         failed_items: list[tuple[int, str]] = []  # (item_id, traceback)
         active_plan = get_fault_plan()
         plan_dict = active_plan.to_dict() if active_plan is not None else None
+        # trace context for the workers: run id + the open exec.run span
+        # (run() holds it on this thread), so worker telemetry comes back
+        # causally parented under the driver's trace
+        ctx_trace = get_recorder().trace_context()
+        trace_dict = ctx_trace.to_dict() if ctx_trace is not None else None
+        snaps: dict[int, dict[str, Any] | None] = {}
         try:
             result_q = ctx.Queue()
             cursor = ctx.Value("l", 0)
@@ -558,6 +575,7 @@ class ExecutionEngine:
                         task,
                         plan_dict,
                         self.item_retries > 0,
+                        trace_dict,
                     ),
                     name=f"exec-worker-{w}",
                     daemon=True,
@@ -601,9 +619,10 @@ class ExecutionEngine:
                         ItemRecord(w, item.kind, item.n_halos, item.cost, t0, t1, overhead, stolen)
                     )
                 elif msg[0] == "done":
-                    _, w, wbusy, wsteals = msg
+                    _, w, wbusy, wsteals, snap = msg
                     busy[w] = wbusy
                     steals[w] = wsteals
+                    snaps[w] = snap
                     finished.add(w)
                 elif msg[0] == "item_error":
                     _, w, item_id, tb = msg
@@ -627,6 +646,19 @@ class ExecutionEngine:
             store.unlink()
         if error is not None:
             raise error
+
+        # fold worker-process telemetry into the parent recorder in sorted
+        # worker order (deterministic journal content for identical runs);
+        # worker root spans/events hang under the open exec.run span
+        parent_rec = get_recorder()
+        if trace_dict is not None and isinstance(parent_rec, TelemetryRecorder):
+            for w in sorted(snaps):
+                merge_snapshot(
+                    parent_rec,
+                    snaps[w],
+                    parent_span_id=trace_dict.get("span_id"),
+                    thread=f"exec-worker-{w}",
+                )
 
         item_failures = len(failed_items)
         recovered, poisoned = self._retry_failed_items(
@@ -733,6 +765,10 @@ class ExecutionEngine:
             help="gap between a worker finishing one item and starting the next",
         )
         record_span = getattr(rec, "record_span", None)
+        # parent the per-item spans under the still-open exec.run span so
+        # worker tracks link causally back to the driver in the trace
+        ctx = rec.trace_context()
+        parent_id = ctx.span_id if ctx is not None else None
         for it in report.item_log:
             hist.observe(max(it.overhead, 0.0))
             if record_span is not None and getattr(rec, "enabled", False):
@@ -741,6 +777,7 @@ class ExecutionEngine:
                     it.t0,
                     it.t1,
                     thread=f"exec-worker-{it.worker}",
+                    parent_id=parent_id,
                     task=task.get("task"),
                     kind=it.kind,
                     halos=it.n_halos,

@@ -34,6 +34,9 @@ class DeadLetterEntry:
     reason: str
     attempts: int = 1
     sim_time: float | None = None
+    #: run id of the workflow that dead-lettered this entry (stamped
+    #: from the active recorder, so two runs sharing one box stay apart)
+    run: str | None = None
     fields: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -45,6 +48,8 @@ class DeadLetterEntry:
         }
         if self.sim_time is not None:
             out["sim_time"] = self.sim_time
+        if self.run is not None:
+            out["run"] = self.run
         out.update(self.fields)
         return out
 
@@ -74,17 +79,18 @@ class DeadLetterBox:
         """Record a terminal failure; emits counters + an error event."""
         from ..obs import get_recorder
 
+        rec = get_recorder()
         entry = DeadLetterEntry(
             source=self.source,
             key=str(key),
             reason=reason,
             attempts=attempts,
             sim_time=sim_time,
+            run=rec.run_id,
             fields=fields,
         )
         self._entries.append(entry)
         self.total += 1
-        rec = get_recorder()
         rec.counter(
             "dead_letter_total", help="work units that exhausted retries (all sources)"
         ).inc()
@@ -99,9 +105,15 @@ class DeadLetterBox:
         )
         return entry
 
-    def entries(self) -> list[DeadLetterEntry]:
-        """The retained (most recent) entries, oldest first."""
-        return list(self._entries)
+    def entries(self, run: str | None = None) -> list[DeadLetterEntry]:
+        """The retained (most recent) entries, oldest first.
+
+        ``run`` filters to one workflow's failures when several runs
+        share the box (e.g. two drivers over one engine).
+        """
+        if run is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.run == run]
 
     def keys(self) -> list[str]:
         return [e.key for e in self._entries]

@@ -196,16 +196,17 @@ class GenericIOFile:
         if not 0 <= block < self.num_blocks:
             raise IndexError(f"block {block} out of range [0, {self.num_blocks})")
         key = f"{os.path.basename(self.path)}:{block}"
-        out, nbytes = self.retry.call(
-            self._read_block_attempt,
-            block,
-            verify,
-            key,
-            site="io.read",
-            key=key,
-            retryable=(FaultInjected, OSError),
-        )
         rec = get_recorder()
+        with rec.span("io.read_block", path=self.path, block=block):
+            out, nbytes = self.retry.call(
+                self._read_block_attempt,
+                block,
+                verify,
+                key,
+                site="io.read",
+                key=key,
+                retryable=(FaultInjected, OSError),
+            )
         rec.counter("io_read_bytes_total").inc(nbytes)
         rec.counter("io_blocks_read_total").inc()
         return out

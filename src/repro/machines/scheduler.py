@@ -146,6 +146,14 @@ class Scheduler:
         "generally inadequate for the needs of in-transit workflows").
         """
         rec = get_recorder()
+        # journaled machine geometry: MachineTimeline.from_events rebuilds
+        # the per-node Gantt from run_begin + job_start records alone
+        rec.event(
+            "scheduler.run_begin",
+            machine=self.machine.name,
+            n_nodes=self.machine.n_nodes,
+            jobs=len(self.jobs),
+        )
         pending = sorted(
             self.jobs, key=lambda j: (j.submit_time, self.jobs.index(j))
         )
@@ -206,6 +214,7 @@ class Scheduler:
                     rec.event(
                         "scheduler.job_start",
                         job=job.name,
+                        machine=self.machine.name,
                         n_nodes=job.n_nodes,
                         sim_start=job.start_time,
                         sim_end=job.end_time,
@@ -266,11 +275,24 @@ class Scheduler:
         rec.event(
             "scheduler.done",
             machine=self.machine.name,
+            n_nodes=self.machine.n_nodes,
             jobs=len(self.jobs),
             makespan=makespan,
             dead_lettered=self.dead_letter.total,
         )
         return makespan
+
+    def allocations(self) -> list[tuple[str, int, float, float]]:
+        """Completed allocations as ``(name, n_nodes, start, end)`` tuples.
+
+        The input for :class:`repro.obs.timeline.MachineTimeline` — the
+        per-node occupancy Gantt behind the paper's Table 3.
+        """
+        return [
+            (j.name, j.n_nodes, j.start_time, j.end_time)
+            for j in self.jobs
+            if j.start_time is not None and j.end_time is not None
+        ]
 
     def _resolve_failure(self, job: Job, pending: list[Job], clock: float) -> None:
         """Requeue a failed job, or dead-letter it when requeues run out."""

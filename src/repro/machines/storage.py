@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..faults import FaultInjected, RetryPolicy, maybe_inject, resolve_retry
+from ..obs import get_recorder
 
 __all__ = ["StorageDevice", "lustre_like", "burst_buffer_like"]
 
@@ -75,7 +76,18 @@ class StorageDevice:
         attempts = self._transfer_attempts("storage.write", len(self.write_events))
         self.bytes_written += int(nbytes)
         self.write_events.append((int(nbytes), n_nodes))
-        return attempts * nbytes / self._bandwidth(self.write_per_node, n_nodes)
+        seconds = attempts * nbytes / self._bandwidth(self.write_per_node, n_nodes)
+        rec = get_recorder()
+        rec.counter("storage_bytes_written_total").inc(int(nbytes))
+        rec.event(
+            "storage.write",
+            device=self.name,
+            nbytes=int(nbytes),
+            nodes=n_nodes,
+            seconds=seconds,
+            attempts=attempts,
+        )
+        return seconds
 
     def read_seconds(self, nbytes: int, n_nodes: int) -> float:
         """Record a read and return its wall-clock cost.
@@ -86,7 +98,18 @@ class StorageDevice:
         attempts = self._transfer_attempts("storage.read", len(self.read_events))
         self.bytes_read += int(nbytes)
         self.read_events.append((int(nbytes), n_nodes))
-        return attempts * nbytes / self._bandwidth(self.read_per_node, n_nodes)
+        seconds = attempts * nbytes / self._bandwidth(self.read_per_node, n_nodes)
+        rec = get_recorder()
+        rec.counter("storage_bytes_read_total").inc(int(nbytes))
+        rec.event(
+            "storage.read",
+            device=self.name,
+            nbytes=int(nbytes),
+            nodes=n_nodes,
+            seconds=seconds,
+            attempts=attempts,
+        )
+        return seconds
 
 
 def lustre_like() -> StorageDevice:

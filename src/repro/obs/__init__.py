@@ -26,9 +26,13 @@ cost one global read when disabled.  Typical use::
     result.telemetry.write_chrome_trace("trace.json")
 """
 
+from .context import TraceContext, current_trace_context, export_snapshot, merge_snapshot
 from .events import Event, EventLog, JsonlSink, read_jsonl
+from .journal import JournalView, RunJournal, RunManifest, read_journal
+from .live import follow_journal
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import (
+    SPILL_CAPACITY,
     NullRecorder,
     TelemetryRecorder,
     disable,
@@ -40,27 +44,41 @@ from .recorder import (
 )
 from .report import PhaseStat, RunTelemetry, phase_of
 from .spans import Span, Tracer, load_chrome_trace, to_chrome_trace, write_chrome_trace
+from .timeline import Allocation, MachineTimeline, WorkflowTimeline
 
 __all__ = [
+    "Allocation",
     "Counter",
     "DEFAULT_BUCKETS",
     "Event",
     "EventLog",
     "Gauge",
     "Histogram",
+    "JournalView",
     "JsonlSink",
+    "MachineTimeline",
     "MetricsRegistry",
     "NullRecorder",
     "PhaseStat",
+    "RunJournal",
+    "RunManifest",
     "RunTelemetry",
+    "SPILL_CAPACITY",
     "Span",
     "TelemetryRecorder",
+    "TraceContext",
     "Tracer",
+    "WorkflowTimeline",
+    "current_trace_context",
     "disable",
     "enable",
+    "export_snapshot",
+    "follow_journal",
     "get_recorder",
     "load_chrome_trace",
+    "merge_snapshot",
     "phase_of",
+    "read_journal",
     "read_jsonl",
     "set_recorder",
     "telemetry",

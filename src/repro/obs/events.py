@@ -73,7 +73,7 @@ class Event:
     def from_dict(cls, d: dict[str, Any]) -> "Event":
         return cls(
             name=d["name"],
-            t=float(d["t"]),
+            t=float(d.get("t", 0.0)),
             wall=float(d.get("wall", 0.0)),
             level=d.get("level", "info"),
             run=d.get("run"),
@@ -129,6 +129,17 @@ class EventLog:
         """Point-in-time copy of the ring contents (oldest first)."""
         with self._lock:
             return list(self._ring)
+
+    def rebound(self, capacity: int) -> None:
+        """Resize the ring in place, keeping the *newest* events.
+
+        Used when a journal sink takes over durability: the disk holds
+        the full stream, so memory only needs a recent tail.
+        """
+        capacity = max(1, int(capacity))
+        with self._lock:
+            self._ring = deque(self._ring, maxlen=capacity)
+            self.capacity = capacity
 
     def by_level(self, level: str) -> list[Event]:
         return [e for e in self.snapshot() if e.level == level]

@@ -1,0 +1,467 @@
+"""Durable run journal: a crash-safe on-disk record of one workflow run.
+
+Campaign services (Balsam — see PAPERS.md) are built on a durable job
+store first and analytics second: nothing a run learns is worth much if
+it dies with the producing process.  This module is that store for the
+repro stack.  A *run directory* holds exactly two files::
+
+    <root>/<run_id>/
+        manifest.json     # who/what/how: config hash, seeds, fault plan
+        journal.jsonl     # append-only stream of everything that happened
+
+**Manifest** (:class:`RunManifest`): the run's identity — ``run_id``,
+creation wall time, the workflow configuration and its SHA-256 hash,
+every seed in play, the active fault plan (so a failure is replayable),
+and the code version.  Written atomically (temp file + ``os.replace``)
+so a reader never sees a torn manifest.
+
+**Journal** (:class:`RunJournal`): an append-only JSONL stream with
+*atomic line framing*: every record is serialized to one
+newline-terminated line and handed to the OS in a single buffered
+``write`` under a lock, so concurrent writers (the sim loop, the
+listener thread, merged exec-worker telemetry) never interleave within
+a line.  A crash can still tear the *final* line at a buffer boundary —
+that is recovered, never propagated:
+
+* readers (:func:`read_journal`) drop an unterminated tail and flag it
+  (``truncated=True``);
+* re-opening a journal for append (:meth:`RunJournal.open`) truncates
+  the file back to the last complete line first
+  (:func:`recover_tail`).
+
+Records carry a monotonically increasing ``seq`` and a ``kind``
+discriminator: ``run.start`` / ``event`` / ``span`` / ``metrics`` /
+``failure`` / ``run.end``.  Unknown kinds are preserved by readers, so
+the format is forward-compatible (the planned campaign service will
+journal job-state records into the same stream).
+
+The journal registers an ``atexit`` flush so a run that crashes (rather
+than closing cleanly) still keeps its buffered tail on disk.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import os
+import subprocess
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .events import Event, _json_default
+from .spans import Span
+
+__all__ = [
+    "JOURNAL_FILE",
+    "MANIFEST_FILE",
+    "JournalView",
+    "RunJournal",
+    "RunManifest",
+    "config_hash",
+    "detect_code_version",
+    "find_journal",
+    "read_journal",
+    "recover_tail",
+]
+
+MANIFEST_FILE = "manifest.json"
+JOURNAL_FILE = "journal.jsonl"
+
+#: Journal format tag written into every manifest.
+JOURNAL_FORMAT = "repro-journal/1"
+
+#: Flush the journal file to the OS every N records (the atexit hook and
+#: ``close`` flush unconditionally; a torn final line is recoverable).
+DEFAULT_FLUSH_EVERY = 32
+
+
+def config_hash(config: dict[str, Any] | None) -> str:
+    """Canonical SHA-256 of a configuration dict (sorted-key JSON)."""
+    payload = json.dumps(config or {}, sort_keys=True, default=_json_default)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def detect_code_version() -> str:
+    """Best-effort code version: env override, git commit, or package."""
+    env = os.environ.get("REPRO_CODE_VERSION")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            timeout=5.0,
+            text=True,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return f"git:{out.stdout.strip()}"
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover - no git
+        pass
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return f"pkg:{version('repro')}"
+    except PackageNotFoundError:  # pragma: no cover - not installed
+        return "unknown"
+
+
+@dataclass
+class RunManifest:
+    """The run's identity card (``manifest.json``)."""
+
+    run_id: str
+    created: float = 0.0  # epoch seconds
+    config: dict[str, Any] = field(default_factory=dict)
+    config_hash: str = ""
+    seeds: dict[str, Any] = field(default_factory=dict)
+    fault_plan: dict[str, Any] | None = None
+    code_version: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.config_hash:
+            self.config_hash = config_hash(self.config)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": JOURNAL_FORMAT,
+            "run_id": self.run_id,
+            "created": self.created,
+            "config": self.config,
+            "config_hash": self.config_hash,
+            "seeds": self.seeds,
+            "fault_plan": self.fault_plan,
+            "code_version": self.code_version,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "RunManifest":
+        return cls(
+            run_id=d["run_id"],
+            created=float(d.get("created", 0.0)),
+            config=dict(d.get("config") or {}),
+            config_hash=d.get("config_hash", ""),
+            seeds=dict(d.get("seeds") or {}),
+            fault_plan=d.get("fault_plan"),
+            code_version=d.get("code_version", ""),
+            extra=dict(d.get("extra") or {}),
+        )
+
+    def save(self, path: str | os.PathLike) -> str:
+        """Atomic write: temp file in the same directory + ``os.replace``."""
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True, default=_json_default)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RunManifest":
+        with open(os.fspath(path), "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def recover_tail(path: str | os.PathLike) -> int:
+    """Truncate an append-target journal back to its last complete line.
+
+    Returns the number of torn-tail bytes dropped (0 for a clean file).
+    """
+    path = os.fspath(path)
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return 0
+    if size == 0:
+        return 0
+    with open(path, "rb+") as fh:
+        # scan backwards in one bounded read: torn tails are < one line
+        chunk = min(size, 1 << 20)
+        fh.seek(size - chunk)
+        data = fh.read(chunk)
+        if data.endswith(b"\n"):
+            return 0
+        last_nl = data.rfind(b"\n")
+        keep = size - chunk + last_nl + 1 if last_nl >= 0 else size - chunk
+        if last_nl < 0 and chunk < size:  # pragma: no cover - pathological line
+            keep = 0
+        fh.truncate(keep)
+        return size - keep
+
+
+class RunJournal:
+    """Append-only journal for one run directory.
+
+    Use :meth:`create` for a fresh run and :meth:`open` to resume
+    appending to an existing one (torn tail recovered first).  All
+    writes are thread-safe; each record gets the next ``seq``.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        manifest: RunManifest,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+        _seq0: int = 0,
+    ):
+        self.directory = os.fspath(directory)
+        self.manifest = manifest
+        self.flush_every = max(1, int(flush_every))
+        self._lock = threading.Lock()
+        self._seq = int(_seq0)
+        self._writes = 0
+        self._fh = open(self.journal_path, "a", encoding="utf-8")
+        atexit.register(self._atexit_flush)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | os.PathLike,
+        run_id: str,
+        config: dict[str, Any] | None = None,
+        seeds: dict[str, Any] | None = None,
+        fault_plan: dict[str, Any] | None = None,
+        code_version: str | None = None,
+        extra: dict[str, Any] | None = None,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+    ) -> "RunJournal":
+        """Create ``<root>/<run_id>/`` with a manifest and empty journal.
+
+        Raises :class:`FileExistsError` if the run directory already
+        exists — run ids are unique per root by construction.
+        """
+        directory = Path(os.fspath(root)) / run_id
+        directory.mkdir(parents=True, exist_ok=False)
+        manifest = RunManifest(
+            run_id=run_id,
+            created=time.time(),
+            config=dict(config or {}),
+            config_hash=config_hash(config),
+            seeds=dict(seeds or {}),
+            fault_plan=fault_plan,
+            code_version=code_version if code_version is not None else detect_code_version(),
+            extra=dict(extra or {}),
+        )
+        manifest.save(directory / MANIFEST_FILE)
+        journal = cls(directory, manifest, flush_every=flush_every)
+        journal.write({"kind": "run.start", "run": run_id, "wall": manifest.created})
+        return journal
+
+    @classmethod
+    def open(cls, path: str | os.PathLike, flush_every: int = DEFAULT_FLUSH_EVERY) -> "RunJournal":
+        """Re-open an existing run directory for appending.
+
+        Any torn final line (a crash mid-flush) is truncated away first;
+        ``seq`` continues from the surviving record count.
+        """
+        directory = Path(find_journal(path)).parent
+        manifest_path = directory / MANIFEST_FILE
+        if manifest_path.is_file():
+            manifest = RunManifest.load(manifest_path)
+        else:
+            manifest = RunManifest(run_id=directory.name)
+        journal_path = directory / JOURNAL_FILE
+        recover_tail(journal_path)
+        with open(journal_path, "r", encoding="utf-8") as fh:
+            seq0 = sum(1 for line in fh if line.strip())
+        return cls(directory, manifest, flush_every=flush_every, _seq0=seq0)
+
+    # -- paths -----------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, JOURNAL_FILE)
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_FILE)
+
+    # -- writing ---------------------------------------------------------------
+
+    def write(self, record: dict[str, Any]) -> int:
+        """Append one record (adds ``seq``); returns its sequence number.
+
+        The full line is serialized outside the lock and written with a
+        single ``write`` call inside it — records from concurrent
+        threads never interleave within a line.  Returns ``-1`` if the
+        journal is already closed (late writers during shutdown).
+        """
+        with self._lock:
+            if self._fh.closed:
+                return -1
+            seq = self._seq
+            line = json.dumps({"seq": seq, **record}, default=_json_default)
+            self._fh.write(line + "\n")
+            self._seq += 1
+            self._writes += 1
+            if self._writes % self.flush_every == 0:
+                self._fh.flush()
+            return seq
+
+    def metrics_snapshot(self, values: dict[str, Any], label: str = "") -> int:
+        """Journal a point-in-time metrics snapshot (flat name → value)."""
+        record: dict[str, Any] = {"kind": "metrics", "values": values}
+        if label:
+            record["label"] = label
+        return self.write(record)
+
+    def failure(self, record: dict[str, Any]) -> int:
+        """Journal one terminal-failure record (a ``FailureRecord`` dict)."""
+        return self.write({"kind": "failure", **record})
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+
+    def _atexit_flush(self) -> None:
+        """Crash-path flush: keep the buffered tail when a run never closes."""
+        self.flush()
+
+    def close(self, status: str = "ok", **fields: Any) -> None:
+        """Write the terminal ``run.end`` record and close the file."""
+        self.write(
+            {"kind": "run.end", "run": self.manifest.run_id, "status": status, **fields}
+        )
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                try:
+                    os.fsync(self._fh.fileno())
+                except OSError:  # pragma: no cover - fs without fsync
+                    pass
+                self._fh.close()
+        atexit.unregister(self._atexit_flush)
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.closed:
+            self.close(status="error" if exc is not None else "ok")
+
+
+# -- reading -------------------------------------------------------------------
+
+
+def find_journal(path: str | os.PathLike) -> str:
+    """Resolve a user-supplied path to a ``journal.jsonl`` file.
+
+    Accepts the journal file itself, a run directory containing one, or
+    a root directory containing exactly one run directory.
+    """
+    p = Path(os.fspath(path))
+    if p.is_file():
+        return str(p)
+    if p.is_dir():
+        direct = p / JOURNAL_FILE
+        if direct.is_file():
+            return str(direct)
+        candidates = sorted(d for d in p.iterdir() if (d / JOURNAL_FILE).is_file())
+        if len(candidates) == 1:
+            return str(candidates[0] / JOURNAL_FILE)
+        if candidates:
+            names = ", ".join(d.name for d in candidates)
+            raise FileNotFoundError(
+                f"{p}: contains multiple run journals ({names}); pass one run directory"
+            )
+    raise FileNotFoundError(f"{p}: no {JOURNAL_FILE} found")
+
+
+@dataclass
+class JournalView:
+    """One read of a journal: parsed records + recovery diagnostics."""
+
+    path: str
+    manifest: RunManifest | None
+    records: list[dict[str, Any]]
+    truncated: bool = False  # a torn final line was dropped
+    corrupt: int = 0  # interior lines that failed to parse (never ours)
+
+    @property
+    def run_id(self) -> str | None:
+        if self.manifest is not None:
+            return self.manifest.run_id
+        for r in self.records:
+            if r.get("kind") == "run.start":
+                return r.get("run")
+        return None
+
+    @property
+    def complete(self) -> bool:
+        """Whether the run closed cleanly (a ``run.end`` record exists)."""
+        return any(r.get("kind") == "run.end" for r in self.records)
+
+    def events(self) -> list[Event]:
+        return [Event.from_dict(r) for r in self.records if r.get("kind") == "event"]
+
+    def spans(self) -> list[Span]:
+        return [Span.from_dict(r) for r in self.records if r.get("kind") == "span"]
+
+    def failures(self) -> list[dict[str, Any]]:
+        return [r for r in self.records if r.get("kind") == "failure"]
+
+    def last_metrics(self) -> dict[str, float]:
+        """The most recent journaled metrics snapshot (flat dict)."""
+        for r in reversed(self.records):
+            if r.get("kind") == "metrics":
+                return dict(r.get("values") or {})
+        return {}
+
+
+def read_journal(path: str | os.PathLike) -> JournalView:
+    """Read a journal (possibly live/crashed) into a :class:`JournalView`.
+
+    Safe against a torn final line: an unterminated or unparseable tail
+    is dropped and flagged via ``truncated`` instead of raising, so
+    ``tail``/``report`` can follow a journal that is still being
+    written.
+    """
+    journal_path = find_journal(path)
+    directory = Path(journal_path).parent
+    manifest: RunManifest | None = None
+    manifest_path = directory / MANIFEST_FILE
+    if manifest_path.is_file():
+        manifest = RunManifest.load(manifest_path)
+
+    records: list[dict[str, Any]] = []
+    truncated = False
+    corrupt = 0
+    with open(journal_path, "rb") as fh:
+        data = fh.read()
+    lines = data.split(b"\n")
+    tail = lines.pop()  # b"" for a newline-terminated file
+    if tail.strip():
+        truncated = True  # torn final line: dropped, never parsed
+    for i, raw in enumerate(lines):
+        if not raw.strip():
+            continue
+        try:
+            records.append(json.loads(raw.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            if i == len(lines) - 1:
+                truncated = True  # final complete-looking line still torn
+            else:
+                corrupt += 1
+    return JournalView(
+        path=journal_path,
+        manifest=manifest,
+        records=records,
+        truncated=truncated,
+        corrupt=corrupt,
+    )

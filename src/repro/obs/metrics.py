@@ -62,6 +62,14 @@ class Counter:
     def render(self) -> list[str]:
         return [f"{self.name} {_fmt(self.value)}"]
 
+    def state(self) -> dict[str, Any]:
+        """Picklable snapshot for shipping across a process boundary."""
+        return {"kind": self.kind, "value": self.value, "help": self.help}
+
+    def absorb(self, state: dict[str, Any]) -> None:
+        """Merge another process's counter state (counters add)."""
+        self.inc(float(state.get("value", 0.0)))
+
 
 class Gauge:
     """Point-in-time value with min/max watermarks."""
@@ -109,6 +117,24 @@ class Gauge:
 
     def render(self) -> list[str]:
         return [f"{self.name} {_fmt(self.value)}"]
+
+    def state(self) -> dict[str, Any]:
+        """Picklable snapshot for shipping across a process boundary."""
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "value": self._value,
+                "max": self._max,
+                "min": self._min,
+                "help": self.help,
+            }
+
+    def absorb(self, state: dict[str, Any]) -> None:
+        """Merge another process's gauge: keep last value, widen watermarks."""
+        with self._lock:
+            self._value = float(state.get("value", self._value))
+            self._max = max(self._max, float(state.get("max", -math.inf)))
+            self._min = min(self._min, float(state.get("min", math.inf)))
 
 
 class Histogram:
@@ -195,6 +221,39 @@ class Histogram:
         lines.append(f"{self.name}_count {self.count}")
         return lines
 
+    def state(self) -> dict[str, Any]:
+        """Picklable snapshot for shipping across a process boundary."""
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+                "help": self.help,
+            }
+
+    def absorb(self, state: dict[str, Any]) -> None:
+        """Merge another process's histogram (bucket-wise addition).
+
+        Requires matching bounds — mismatched layouts collapse to
+        observing the shipped mean ``count`` times (lossy but safe).
+        """
+        bounds = tuple(float(b) for b in state.get("bounds", ()))
+        counts = list(state.get("counts", ()))
+        if bounds == self.bounds and len(counts) == len(self._counts):
+            with self._lock:
+                for i, c in enumerate(counts):
+                    self._counts[i] += int(c)
+                self._sum += float(state.get("sum", 0.0))
+                self._count += int(state.get("count", 0))
+            return
+        n = int(state.get("count", 0))
+        if n:  # pragma: no cover - defensive: layouts always match in-repo
+            mean = float(state.get("sum", 0.0)) / n
+            for _ in range(n):
+                self.observe(mean)
+
 
 def _fmt(v: float) -> str:
     if float(v).is_integer() and abs(v) < 1e15:
@@ -266,6 +325,32 @@ class MetricsRegistry:
             else:
                 out[name] = m.value
         return out
+
+    def export_state(self) -> dict[str, dict[str, Any]]:
+        """Picklable name → state map (ship a registry between processes)."""
+        out: dict[str, dict[str, Any]] = {}
+        for name in self.names():
+            m = self.get(name)
+            out[name] = m.state()
+        return out
+
+    def absorb_state(self, states: dict[str, dict[str, Any]]) -> None:
+        """Merge an :meth:`export_state` payload into this registry.
+
+        Metrics are created on demand with the shipped kind; counters
+        add, gauges widen watermarks, histograms add bucket-wise — so
+        one registry covers the whole multi-process workflow.
+        """
+        for name in sorted(states):
+            state = states[name]
+            kind = state.get("kind", "counter")
+            if kind == "counter":
+                self.counter(name, state.get("help", "")).absorb(state)
+            elif kind == "gauge":
+                self.gauge(name, state.get("help", "")).absorb(state)
+            elif kind == "histogram":
+                bounds = state.get("bounds") or DEFAULT_BUCKETS
+                self.histogram(name, state.get("help", ""), bounds).absorb(state)
 
     def render_text(self) -> str:
         """Prometheus-style text exposition of every metric."""

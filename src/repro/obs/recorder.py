@@ -26,11 +26,13 @@ import time
 import uuid
 from typing import Any, Iterator
 
+from .context import TraceContext
 from .events import DEFAULT_CAPACITY, Event, EventLog, JsonlSink
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import Span, Tracer, write_chrome_trace
 
 __all__ = [
+    "SPILL_CAPACITY",
     "TelemetryRecorder",
     "NullRecorder",
     "get_recorder",
@@ -40,6 +42,9 @@ __all__ = [
     "telemetry",
     "timed",
 ]
+
+#: In-memory ring bound once a journal holds the durable record.
+SPILL_CAPACITY = 4096
 
 
 # -- the no-op fast path -------------------------------------------------------
@@ -100,6 +105,21 @@ class NullRecorder:
     def event(self, name: str, level: str = "info", **fields: Any) -> None:
         return None
 
+    def trace_context(self) -> TraceContext | None:
+        return None
+
+    def bind_thread(self, ctx: TraceContext | None) -> None:
+        return None
+
+    def run_scope(self, run_id: str | None):
+        return contextlib.nullcontext(self)
+
+    def attach_journal(self, journal: Any, spill_capacity: int = SPILL_CAPACITY) -> None:
+        return None
+
+    def detach_journal(self) -> None:
+        return None
+
     def counter(self, name: str, help: str = "") -> _NullMetric:
         return _NULL_METRIC
 
@@ -145,8 +165,9 @@ class TelemetryRecorder:
         self.tracer = Tracer(capacity=capacity, run=self.run_id)
         self.metrics = MetricsRegistry()
         self.sink: JsonlSink | None = JsonlSink(jsonl_path) if jsonl_path else None
-        if self.sink is not None:
-            self.tracer.on_finish = self._sink_span
+        #: attached :class:`repro.obs.journal.RunJournal` (durable sink)
+        self.journal: Any = None
+        self.tracer.on_finish = self._on_span_finish
 
     # -- spans ----------------------------------------------------------------
 
@@ -171,16 +192,69 @@ class TelemetryRecorder:
         thread: str | None = None,
         step: int | None = None,
         rank: int | None = None,
+        parent_id: int | None = None,
         **fields: Any,
     ) -> Span:
         """Record an interval measured elsewhere (e.g. a worker process)."""
         return self.tracer.record_span(
-            name, t0, t1, thread=thread, step=step, rank=rank, **fields
+            name, t0, t1, thread=thread, step=step, rank=rank, parent_id=parent_id, **fields
         )
 
-    def _sink_span(self, span: Span) -> None:
+    def _on_span_finish(self, span: Span) -> None:
+        """Every finished span flows to the JSONL sink and the journal."""
         if self.sink is not None:
             self.sink.write(span.to_dict())
+        if self.journal is not None:
+            self.journal.write(span.to_dict())
+
+    # -- trace propagation -----------------------------------------------------
+
+    def trace_context(self) -> TraceContext:
+        """Run id + innermost open span on this thread — the hop payload."""
+        current = self.tracer.current()
+        return TraceContext(
+            run=self.run_id, span_id=current.span_id if current is not None else None
+        )
+
+    def bind_thread(self, ctx: TraceContext | None) -> None:
+        """Parent this thread's root spans under ``ctx`` (see context.py)."""
+        self.tracer.bind(ctx.span_id if ctx is not None else None)
+
+    @contextlib.contextmanager
+    def run_scope(self, run_id: str | None) -> "Iterator[TelemetryRecorder]":
+        """Stamp everything recorded inside the block with ``run_id``.
+
+        Lets two workflows share one recorder without cross-run
+        aggregation bleed: events, spans and failure records emitted in
+        the block carry the scoped run id.
+        """
+        if not run_id or run_id == self.run_id:
+            yield self
+            return
+        prev_run, prev_tracer_run = self.run_id, self.tracer.run
+        self.run_id = run_id
+        self.tracer.run = run_id
+        try:
+            yield self
+        finally:
+            self.run_id, self.tracer.run = prev_run, prev_tracer_run
+
+    # -- journal ---------------------------------------------------------------
+
+    def attach_journal(self, journal: Any, spill_capacity: int = SPILL_CAPACITY) -> None:
+        """Stream all subsequent telemetry into ``journal`` (a RunJournal).
+
+        The journal becomes the durable record, so the in-memory rings
+        are rebounded to ``spill_capacity`` — long runs stop growing the
+        process footprint (the disk holds the full stream).
+        """
+        self.journal = journal
+        if spill_capacity:
+            self.events.rebound(spill_capacity)
+            self.tracer.rebound(spill_capacity)
+
+    def detach_journal(self) -> None:
+        self.journal = None
 
     # -- events ---------------------------------------------------------------
 
@@ -197,7 +271,18 @@ class TelemetryRecorder:
         )
         if self.sink is not None:
             self.sink.write(ev.to_dict())
+        if self.journal is not None:
+            self.journal.write(ev.to_dict())
         return ev
+
+    def ingest_event(self, event: Event) -> Event:
+        """Adopt a fully-formed event (merged from another process)."""
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink.write(event.to_dict())
+        if self.journal is not None:
+            self.journal.write(event.to_dict())
+        return event
 
     # -- metrics --------------------------------------------------------------
 

@@ -22,7 +22,13 @@ from typing import Any, Iterable
 from .events import Event
 from .spans import Span, write_chrome_trace
 
-__all__ = ["PhaseStat", "RunTelemetry", "PHASE_RULES", "FAILURE_COUNTERS"]
+__all__ = [
+    "PhaseStat",
+    "RunTelemetry",
+    "PHASE_RULES",
+    "FAILURE_COUNTERS",
+    "FAILURE_EVENTS",
+]
 
 #: Span-name prefix -> phase label (first match wins; order matters).
 PHASE_RULES: tuple[tuple[str, str], ...] = (
@@ -50,6 +56,20 @@ FAILURE_COUNTERS: tuple[tuple[str, str], ...] = (
     ("scheduler_requeues_total", "scheduler requeues"),
     ("exec_item_failures_total", "exec item failures"),
     ("exec_poisoned_items_total", "exec items poisoned"),
+)
+
+#: Event name -> failure label, for the per-run failure grouping.
+#: (Counters are process-global scalars; events carry the ``run`` axis,
+#: so run-grouped failure accounting is reconstructed from them.)
+FAILURE_EVENTS: tuple[tuple[str, str], ...] = (
+    ("fault.injected", "faults injected"),
+    ("retry.backoff", "retries"),
+    ("retry.exhausted", "retries exhausted"),
+    ("dead_letter", "dead-lettered"),
+    ("listener.submit_error", "listener jobs failed"),
+    ("scheduler.job_failed", "scheduler jobs failed"),
+    ("scheduler.job_requeued", "scheduler requeues"),
+    ("exec.item_error", "exec item failures"),
 )
 
 OTHER_PHASE = "Other"
@@ -106,14 +126,41 @@ class RunTelemetry:
             run_id=recorder.run_id,
         )
 
+    @classmethod
+    def from_journal(cls, path: str) -> "RunTelemetry":
+        """Rebuild a run's telemetry from its durable journal.
+
+        The offline twin of :meth:`from_recorder`: reads the journal
+        (tolerating a torn tail on live/crashed runs) and reconstructs
+        the same spans/events/metrics view, so ``report``/``trace`` work
+        long after — or while — the producing process runs.
+        """
+        from .journal import read_journal  # local import: journal imports events/spans
+
+        view = read_journal(path)
+        return cls(
+            spans=view.spans(),
+            events=view.events(),
+            metrics=view.last_metrics(),
+            run_id=view.run_id,
+        )
+
     # -- aggregation ----------------------------------------------------------
 
     def self_seconds_by_span(self) -> dict[int, float]:
-        """Exclusive duration per span id (inclusive minus children)."""
+        """Exclusive duration per span id (inclusive minus children).
+
+        Only *same-thread* children are subtracted: a listener span
+        parented under the driver's ``workflow.sim`` span runs
+        concurrently with it, so deducting it would hollow out the sim
+        phase's genuine self time.
+        """
+        threads = {s.span_id: s.thread for s in self.spans}
         child_time: dict[int, float] = {}
         for s in self.spans:
-            if s.parent_id is not None:
-                child_time[s.parent_id] = child_time.get(s.parent_id, 0.0) + s.duration
+            p = s.parent_id
+            if p is not None and threads.get(p, s.thread) == s.thread:
+                child_time[p] = child_time.get(p, 0.0) + s.duration
         return {
             s.span_id: max(0.0, s.duration - child_time.get(s.span_id, 0.0))
             for s in self.spans
@@ -200,14 +247,57 @@ class RunTelemetry:
             if self.metrics.get(name)
         }
 
-    def failure_table(self, title: str = "Failure / resilience summary") -> str:
-        """Render the failure section (empty string for a clean run)."""
+    def runs(self) -> list[str]:
+        """Distinct run ids seen across events and spans (sorted)."""
+        ids = {e.run for e in self.events if e.run} | {s.run for s in self.spans if s.run}
+        return sorted(ids)
+
+    def failure_stats_by_run(self) -> dict[str, dict[str, float]]:
+        """Per-run failure accounting, reconstructed from events.
+
+        Counters are process-global, so when two workflows share one
+        recorder their failure counts blur together; events carry the
+        ``run`` axis, so this view keeps each run's failures separate.
+        Event names map to labels via :data:`FAILURE_EVENTS`.
+        """
+        labels = dict(FAILURE_EVENTS)
+        out: dict[str, dict[str, float]] = {}
+        for e in self.events:
+            label = labels.get(e.name)
+            if label is None:
+                continue
+            run = e.run or "?"
+            per_run = out.setdefault(run, {})
+            per_run[label] = per_run.get(label, 0.0) + 1.0
+        return out
+
+    def failure_table(
+        self, title: str = "Failure / resilience summary", by_run: bool | None = None
+    ) -> str:
+        """Render the failure section (empty string for a clean run).
+
+        ``by_run=True`` groups rows by run id (reconstructed from
+        events); the default (``None``) does so automatically when the
+        snapshot contains more than one run.
+        """
+        if by_run is None:
+            by_run = len(self.runs()) > 1
+        if by_run:
+            grouped = self.failure_stats_by_run()
+            if not grouped:
+                return ""
+            rows = [
+                [run, label, f"{count:g}"]
+                for run in sorted(grouped)
+                for label, count in sorted(grouped[run].items())
+            ]
+            return _render_table(["Run", "What", "Count"], rows, title=title)
         stats = self.failure_stats()
         if not stats:
             return ""
         labels = dict(FAILURE_COUNTERS)
-        rows = [[labels[name], f"{value:g}"] for name, value in stats.items()]
-        return _render_table(["What", "Count"], rows, title=title)
+        rows2 = [[labels[name], f"{value:g}"] for name, value in stats.items()]
+        return _render_table(["What", "Count"], rows2, title=title)
 
     def span_table(self, top: int = 20) -> str:
         """Per-span-name totals, heaviest first (the hot-path view)."""

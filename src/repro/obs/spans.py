@@ -29,6 +29,7 @@ from typing import Any, Callable, Iterable
 __all__ = [
     "Span",
     "Tracer",
+    "next_span_id",
     "to_chrome_trace",
     "write_chrome_trace",
     "load_chrome_trace",
@@ -38,6 +39,16 @@ __all__ = [
 DEFAULT_CAPACITY = 65_536
 
 _span_ids = itertools.count(1)
+
+
+def next_span_id() -> int:
+    """Allocate a fresh process-unique span id.
+
+    Used when ingesting spans measured in another process (exec
+    workers): their local ids are remapped onto this counter so they
+    can never collide with spans created here.
+    """
+    return next(_span_ids)
 
 
 @dataclass
@@ -98,6 +109,25 @@ class Span:
         if self.error is not None:
             d["error"] = self.error
         return d
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Span":
+        """Rebuild a span from its :meth:`to_dict` record (journal replay)."""
+        return cls(
+            name=d["name"],
+            t0=float(d.get("t0", 0.0)),
+            t1=None if d.get("t1") is None else float(d["t1"]),
+            wall0=float(d.get("wall0", 0.0)),
+            run=d.get("run"),
+            step=d.get("step"),
+            rank=d.get("rank"),
+            fields=dict(d.get("fields", {})),
+            span_id=int(d.get("span_id", 0)),
+            parent_id=d.get("parent_id"),
+            depth=int(d.get("depth", 0)),
+            thread=d.get("thread", ""),
+            error=d.get("error"),
+        )
 
 
 class _SpanHandle:
@@ -184,6 +214,7 @@ class Tracer:
         thread: str | None = None,
         step: int | None = None,
         rank: int | None = None,
+        parent_id: int | None = None,
         **fields: Any,
     ) -> Span:
         """Record an already-finished interval as a span.
@@ -192,7 +223,8 @@ class Tracer:
         worker processes, which report :func:`time.perf_counter` pairs
         back to the parent.  ``thread`` overrides the track name so the
         span renders on its own Chrome-trace lane (``exec-worker-3``)
-        instead of the recording thread's.
+        instead of the recording thread's; ``parent_id`` links it under
+        an existing span (causal parent across the process boundary).
         """
         s = Span(
             name=name,
@@ -204,6 +236,7 @@ class Tracer:
             rank=rank,
             fields=fields,
             span_id=next(_span_ids),
+            parent_id=parent_id,
             thread=thread or threading.current_thread().name,
         )
         with self._lock:
@@ -213,6 +246,41 @@ class Tracer:
         if self.on_finish is not None:
             self.on_finish(s)
         return s
+
+    def ingest(self, span: Span) -> Span:
+        """Adopt a fully-formed finished span (ids already assigned).
+
+        Used when merging telemetry shipped from another process: the
+        caller has already remapped ids via :func:`next_span_id`, so the
+        span only needs to land in the finished record (and fire the
+        ``on_finish`` hook — journal/sink — like any local span).
+        """
+        with self._lock:
+            self.started_total += 1
+            self._finished.append(span)
+            self.finished_total += 1
+        if self.on_finish is not None:
+            self.on_finish(span)
+        return span
+
+    def bind(self, parent_id: int | None) -> None:
+        """Set *this thread's* base parent for root spans.
+
+        A worker thread started inside a driver span calls
+        ``bind(ctx.span_id)`` so the spans it opens at stack depth 0 are
+        causally parented under the driver's span instead of floating as
+        roots — the cross-thread half of trace propagation.
+        """
+        self._local.base_parent = parent_id
+
+    def rebound(self, capacity: int) -> None:
+        """Shrink/grow the finished-span ring (keeps the newest spans).
+
+        Called when a journal is attached: the journal holds the full
+        record, so memory only needs a small tail for live reports.
+        """
+        with self._lock:
+            self._finished = deque(self._finished, maxlen=max(1, int(capacity)))
 
     def snapshot(self) -> list[Span]:
         """Finished spans, ordered by completion time."""
@@ -235,6 +303,11 @@ class Tracer:
         if stack:
             span.parent_id = stack[-1].span_id
             span.depth = stack[-1].depth + 1
+        else:
+            base = getattr(self._local, "base_parent", None)
+            if base is not None:  # thread bound under a driver span
+                span.parent_id = base
+                span.depth = 1
         stack.append(span)
         self._local.stack = stack
         with self._lock:

@@ -1,0 +1,329 @@
+"""Machine-utilization timelines: the paper's Table-3 view.
+
+The paper's co-scheduling argument is a utilization argument: Table 3
+and Figure 3 show per-node occupancy over time — simulation allocation
+vs. co-scheduled analysis allocation — and the win is the overlap.
+This module reconstructs that view from telemetry:
+
+* :class:`MachineTimeline` — per-node occupancy Gantt built from
+  scheduler allocations (``scheduler.job_start`` events journal the
+  sim-clock interval and node count of every job, so the whole chart
+  rebuilds from a journal alone).  Node assignment is a deterministic
+  first-fit, so two identical runs render identical charts.
+* :class:`WorkflowTimeline` — the wall-clock span view of a combined
+  run: sim-vs-analysis overlap fraction and staging throughput, the
+  quantities behind the paper's "the machine stayed busy" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .events import Event
+from .spans import Span
+
+__all__ = ["Allocation", "MachineTimeline", "WorkflowTimeline", "merge_intervals"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One job's hold on ``n_nodes`` nodes over ``[t0, t1)`` (sim clock)."""
+
+    name: str
+    n_nodes: int
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.t1 - self.t0)
+
+
+def merge_intervals(intervals: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of possibly-overlapping intervals, sorted and coalesced."""
+    ivs = sorted((t0, t1) for t0, t1 in intervals if t1 > t0)
+    out: list[tuple[float, float]] = []
+    for t0, t1 in ivs:
+        if out and t0 <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], t1))
+        else:
+            out.append((t0, t1))
+    return out
+
+
+def _overlap(a: list[tuple[float, float]], b: list[tuple[float, float]]) -> float:
+    """Total length of the intersection of two merged interval lists."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+class MachineTimeline:
+    """Per-node occupancy of one machine, from scheduler allocations."""
+
+    def __init__(self, n_nodes: int, allocations: Iterable[Allocation], machine: str = ""):
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.machine = machine
+        self.n_nodes = n_nodes
+        # deterministic order: ties broken by name, so node assignment
+        # (and therefore the rendered chart) is stable across runs
+        self.allocations = sorted(allocations, key=lambda a: (a.t0, a.name))
+        self._assignment: dict[str, list[int]] | None = None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event], machine: str | None = None) -> "MachineTimeline":
+        """Rebuild from journaled ``scheduler.*`` events.
+
+        ``scheduler.job_start`` carries ``job``/``n_nodes``/``sim_start``/
+        ``sim_end``; ``scheduler.run_begin`` / ``scheduler.done`` carry
+        the machine's node count.  ``machine`` filters when a journal
+        holds several schedulers' events.
+        """
+        allocs: list[Allocation] = []
+        n_nodes = 0
+        name = machine or ""
+        for e in events:
+            f = e.fields
+            if machine is not None and f.get("machine") not in (None, machine):
+                continue
+            if e.name in ("scheduler.run_begin", "scheduler.done"):
+                n_nodes = max(n_nodes, int(f.get("n_nodes", 0)))
+                name = name or str(f.get("machine", ""))
+            elif e.name == "scheduler.job_start":
+                allocs.append(
+                    Allocation(
+                        name=str(f.get("job", "?")),
+                        n_nodes=int(f.get("n_nodes", 1)),
+                        t0=float(f.get("sim_start", 0.0)),
+                        t1=float(f.get("sim_end", 0.0)),
+                    )
+                )
+        if n_nodes == 0:
+            n_nodes = max((a.n_nodes for a in allocs), default=1)
+        return cls(n_nodes=n_nodes, allocations=allocs, machine=name)
+
+    @classmethod
+    def from_scheduler(cls, scheduler: Any) -> "MachineTimeline":
+        """Build directly from a finished :class:`repro.machines.Scheduler`."""
+        allocs = [
+            Allocation(name=name, n_nodes=n, t0=t0, t1=t1)
+            for name, n, t0, t1 in scheduler.allocations()
+        ]
+        return cls(
+            n_nodes=scheduler.machine.n_nodes,
+            allocations=allocs,
+            machine=scheduler.machine.name,
+        )
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        return max((a.t1 for a in self.allocations), default=0.0)
+
+    def node_assignment(self) -> dict[str, list[int]]:
+        """Deterministic first-fit node indices per job.
+
+        Nodes are picked lowest-index-first among those free at the
+        job's start; identical allocation streams therefore always
+        produce identical charts (the determinism the byte-identical
+        acceptance check relies on).
+        """
+        if self._assignment is not None:
+            return self._assignment
+        free_at = [0.0] * self.n_nodes
+        assignment: dict[str, list[int]] = {}
+        eps = 1e-9
+        for a in self.allocations:
+            ready = [i for i in range(self.n_nodes) if free_at[i] <= a.t0 + eps]
+            if len(ready) < a.n_nodes:  # oversubscribed: take earliest-free nodes
+                ready = sorted(range(self.n_nodes), key=lambda i: (free_at[i], i))
+            chosen = ready[: a.n_nodes]
+            for i in chosen:
+                free_at[i] = max(free_at[i], a.t1)
+            assignment[a.name] = sorted(chosen)
+        self._assignment = assignment
+        return assignment
+
+    def busy_node_seconds(self) -> float:
+        return sum(a.n_nodes * a.duration for a in self.allocations)
+
+    def utilization(self) -> float:
+        """Busy node-seconds over total node-seconds (Table 3's metric)."""
+        span = self.makespan
+        if span <= 0.0 or not self.allocations:
+            return 0.0
+        return min(1.0, self.busy_node_seconds() / (self.n_nodes * span))
+
+    def per_node_busy(self) -> list[float]:
+        """Busy seconds per node index under the deterministic assignment."""
+        assignment = self.node_assignment()
+        busy = [0.0] * self.n_nodes
+        for a in self.allocations:
+            for i in assignment[a.name]:
+                busy[i] += a.duration
+        return busy
+
+    # -- rendering -------------------------------------------------------------
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII per-node occupancy chart (one row per node).
+
+        Jobs are lettered ``a``–``z`` (cycling) in first-seen order; a
+        legend maps letters back to job names.  Time is the scheduler's
+        sim clock, left to right over the makespan.
+        """
+        span = self.makespan
+        header = f"machine {self.machine or '?'}: {self.n_nodes} nodes, " \
+            f"makespan {span:g} s, utilization {self.utilization() * 100.0:.1f}%"
+        if span <= 0.0 or not self.allocations:
+            return header + "\n(no allocations)"
+        width = max(8, int(width))
+        letters = "abcdefghijklmnopqrstuvwxyz"
+        symbol: dict[str, str] = {}
+        for a in self.allocations:
+            if a.name not in symbol:
+                symbol[a.name] = letters[len(symbol) % len(letters)]
+        rows = [["."] * width for _ in range(self.n_nodes)]
+        assignment = self.node_assignment()
+        for a in self.allocations:
+            c0 = int(a.t0 / span * width)
+            c1 = max(c0 + 1, int(a.t1 / span * width))
+            for node in assignment[a.name]:
+                for c in range(c0, min(c1, width)):
+                    rows[node][c] = symbol[a.name]
+        lines = [header]
+        for i, row in enumerate(rows):
+            lines.append(f"node {i:>3} |{''.join(row)}|")
+        legend = "  ".join(f"{sym}={name}" for name, sym in symbol.items())
+        lines.append(f"jobs: {legend}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON view: allocations + assignment + utilization."""
+        assignment = self.node_assignment()
+        return {
+            "machine": self.machine,
+            "n_nodes": self.n_nodes,
+            "makespan": self.makespan,
+            "utilization": self.utilization(),
+            "busy_node_seconds": self.busy_node_seconds(),
+            "allocations": [
+                {
+                    "job": a.name,
+                    "n_nodes": a.n_nodes,
+                    "t0": a.t0,
+                    "t1": a.t1,
+                    "nodes": assignment[a.name],
+                }
+                for a in self.allocations
+            ],
+        }
+
+
+@dataclass
+class WorkflowTimeline:
+    """Wall-clock overlap view of one combined run's spans.
+
+    The co-scheduling claim in span form: how much of the simulation's
+    wall time had analysis running concurrently, and what the staging
+    layer moved per second of staging time.
+    """
+
+    spans: list[Span] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    #: span-name prefixes counted as "simulation is running"
+    SIM_PREFIXES = ("sim.", "workflow.sim")
+    #: span-name prefixes counted as "analysis is running"
+    ANALYSIS_PREFIXES = ("offline.", "insitu.", "exec.item", "listener.submit")
+
+    def _intervals(self, prefixes: tuple[str, ...]) -> list[tuple[float, float]]:
+        return merge_intervals(
+            (s.t0, s.t1)
+            for s in self.spans
+            if s.t1 is not None and any(s.name.startswith(p) for p in prefixes)
+        )
+
+    def sim_seconds(self) -> float:
+        return sum(t1 - t0 for t0, t1 in self._intervals(self.SIM_PREFIXES))
+
+    def analysis_seconds(self) -> float:
+        return sum(t1 - t0 for t0, t1 in self._intervals(self.ANALYSIS_PREFIXES))
+
+    def overlap_fraction(self) -> float:
+        """Fraction of simulation wall time with analysis in flight.
+
+        Zero for a purely sequential (non-co-scheduled) run; the paper's
+        combined approach pushes this toward 1.
+        """
+        sim = self._intervals(self.SIM_PREFIXES)
+        ana = self._intervals(self.ANALYSIS_PREFIXES)
+        sim_total = sum(t1 - t0 for t0, t1 in sim)
+        if sim_total <= 0.0:
+            return 0.0
+        return _overlap(sim, ana) / sim_total
+
+    def staging_throughput(self) -> float:
+        """Bytes/s through the staging area (0 when staging unused)."""
+        nbytes = self.metrics.get("staging_bytes_staged_total", 0.0)
+        secs = sum(
+            s.t1 - s.t0
+            for s in self.spans
+            if s.t1 is not None and s.name.startswith("staging.")
+        )
+        return nbytes / secs if secs > 0.0 else 0.0
+
+    def lanes(self) -> dict[str, list[Span]]:
+        """Finished spans grouped by producing thread, start-ordered."""
+        out: dict[str, list[Span]] = {}
+        for s in sorted(self.spans, key=lambda x: x.t0):
+            if s.t1 is None:
+                continue
+            out.setdefault(s.thread or "main", []).append(s)
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "sim_seconds": self.sim_seconds(),
+            "analysis_seconds": self.analysis_seconds(),
+            "overlap_fraction": self.overlap_fraction(),
+            "staging_throughput_bytes_per_s": self.staging_throughput(),
+            "lanes": {name: len(spans) for name, spans in self.lanes().items()},
+        }
+
+    def render(self, width: int = 72) -> str:
+        """ASCII lane chart: one row per thread over the traced wall."""
+        finished = [s for s in self.spans if s.t1 is not None]
+        if not finished:
+            return "(no finished spans)"
+        t0 = min(s.t0 for s in finished)
+        t1 = max(s.t1 for s in finished if s.t1 is not None)
+        span = t1 - t0
+        width = max(8, int(width))
+        lines = [
+            f"workflow lanes — wall {span:.3f} s, "
+            f"overlap {self.overlap_fraction() * 100.0:.1f}%"
+        ]
+        for lane, spans in self.lanes().items():
+            row = ["."] * width
+            for s in spans:
+                c0 = int((s.t0 - t0) / span * width) if span > 0 else 0
+                c1 = max(c0 + 1, int(((s.t1 or s.t0) - t0) / span * width))
+                for c in range(c0, min(c1, width)):
+                    row[c] = "#"
+            lines.append(f"{lane:>16} |{''.join(row)}|")
+        return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Unit tests for the repro.check static-analysis rules (RPR001-RPR009).
+"""Unit tests for the repro.check static-analysis rules (RPR001-RPR010).
 
 Each rule gets at least one positive fixture (violating source that must
 be flagged), one negative fixture (conforming source that must pass),
@@ -29,8 +29,8 @@ def codes(src: str, rel: str = ANALYSIS, config: CheckConfig | None = None) -> l
 # -- registry ------------------------------------------------------------------
 
 
-def test_registry_has_all_nine_rules():
-    assert sorted(all_rules()) == [f"RPR{i:03d}" for i in range(1, 10)]
+def test_registry_has_all_ten_rules():
+    assert sorted(all_rules()) == [f"RPR{i:03d}" for i in range(1, 11)]
 
 
 def test_parse_error_reports_rpr000():
@@ -440,6 +440,58 @@ def test_ignore_drops_rule():
 )
 def test_path_in_scope(rel, scopes, expected):
     assert path_in_scope(rel, scopes) is expected
+
+
+# -- RPR010: print() in library code ------------------------------------------
+
+
+def test_rpr010_library_print_flagged():
+    src = """
+        def load(path):
+            print("loading", path)
+            return path
+    """
+    assert codes(src) == ["RPR010"]
+
+
+def test_rpr010_stderr_print_flagged_too():
+    src = """
+        import sys
+
+        def warn(msg):
+            print(msg, file=sys.stderr)
+    """
+    assert codes(src) == ["RPR010"]
+
+
+def test_rpr010_cli_modules_exempt():
+    src = """
+        def main():
+            print("usage: ...")
+    """
+    assert codes(src, rel="obs/cli.py") == []
+    assert codes(src, rel="check/__main__.py") == []
+
+
+def test_rpr010_shadowed_print_ok():
+    """A local function named print is not the builtin."""
+    src = """
+        from mylog import print
+
+        def f():
+            print("routed elsewhere")
+    """
+    assert codes(src) == []
+
+
+def test_rpr010_noqa_suppression():
+    src = """
+        def f():
+            print("intentional")  # repro: noqa[RPR010]
+    """
+    res = run(src)
+    assert res.findings == []
+    assert res.suppressed == 1
 
 
 def test_blanket_noqa_suppresses_everything_on_line():

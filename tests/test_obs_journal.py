@@ -1,0 +1,251 @@
+"""Durable run journal: format, crash recovery, recorder bounding.
+
+The acceptance contracts of :mod:`repro.obs.journal`:
+
+* a journal is a run directory — atomic ``manifest.json`` plus an
+  append-only ``journal.jsonl`` with one complete JSON record per line;
+* a torn final line (crash mid-write) is dropped on read and truncated
+  away on re-open, so the journal survives its producer dying;
+* concurrent writers interleave at line granularity (atomic framing);
+* attaching a journal to a recorder bounds the in-memory buffers (the
+  journal is the archive; RAM holds a spill window);
+* a process that exits without ``close()`` still flushes via ``atexit``
+  — crashed runs keep their tail, and the missing ``run.end`` marks
+  them incomplete.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.journal import (
+    RunJournal,
+    RunManifest,
+    config_hash,
+    find_journal,
+    read_journal,
+    recover_tail,
+)
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+# -- manifest ------------------------------------------------------------------
+
+
+def test_config_hash_is_order_insensitive():
+    a = config_hash({"b": 1, "a": {"y": 2, "x": [1, 2]}})
+    b = config_hash({"a": {"x": [1, 2], "y": 2}, "b": 1})
+    assert a == b
+    assert a != config_hash({"b": 2, "a": {"y": 2, "x": [1, 2]}})
+
+
+def test_manifest_roundtrip(tmp_path):
+    m = RunManifest(
+        run_id="r1",
+        created=123.0,
+        config={"threshold": 5},
+        seeds={"sim": 42},
+        fault_plan={"seed": 7, "sites": {}},
+        code_version="git:abc",
+        extra={"note": "hi"},
+    )
+    m.save(tmp_path / "manifest.json")
+    back = RunManifest.load(tmp_path / "manifest.json")
+    assert back.run_id == "r1"
+    assert back.seeds == {"sim": 42}
+    assert back.fault_plan == {"seed": 7, "sites": {}}
+    assert back.config_hash == config_hash({"threshold": 5})
+    assert json.loads((tmp_path / "manifest.json").read_text())["format"] == "repro-journal/1"
+
+
+# -- journal write / read ------------------------------------------------------
+
+
+def test_journal_create_write_close_read(tmp_path):
+    with RunJournal.create(tmp_path, run_id="caseA", config={"k": 1}) as j:
+        j.write({"kind": "event", "name": "hello", "fields": {"n": 1}})
+        j.metrics_snapshot({"x_total": 3.0}, label="final")
+        j.failure({"stage": "offline", "key": "7"})
+    view = read_journal(tmp_path / "caseA")
+    assert view.complete and not view.truncated and view.corrupt == 0
+    kinds = [r["kind"] for r in view.records]
+    assert kinds[0] == "run.start" and kinds[-1] == "run.end"
+    assert [r["seq"] for r in view.records] == list(range(len(view.records)))
+    assert view.last_metrics() == {"x_total": 3.0}
+    assert view.failures() == [{"kind": "failure", "seq": 3, "stage": "offline", "key": "7"}]
+
+
+def test_duplicate_run_id_refused(tmp_path):
+    RunJournal.create(tmp_path, run_id="caseA").close()
+    with pytest.raises(FileExistsError):
+        RunJournal.create(tmp_path, run_id="caseA")
+
+
+def test_write_after_close_is_refused(tmp_path):
+    j = RunJournal.create(tmp_path, run_id="caseA")
+    assert j.write({"kind": "event", "name": "a"}) >= 0
+    j.close()
+    assert j.write({"kind": "event", "name": "late"}) == -1
+
+
+def test_find_journal_resolves_file_dir_and_root(tmp_path):
+    j = RunJournal.create(tmp_path, run_id="caseA")
+    j.close()
+    p = str(tmp_path / "caseA" / "journal.jsonl")
+    assert find_journal(p) == p
+    assert find_journal(tmp_path / "caseA") == p
+    assert find_journal(tmp_path) == p  # root with exactly one run
+    RunJournal.create(tmp_path, run_id="caseB").close()
+    with pytest.raises(FileNotFoundError):
+        find_journal(tmp_path)  # ambiguous root names the candidates
+
+
+# -- crash recovery ------------------------------------------------------------
+
+
+def test_truncated_tail_is_dropped_on_read(tmp_path):
+    j = RunJournal.create(tmp_path, run_id="caseA")
+    j.write({"kind": "event", "name": "kept"})
+    j.flush()
+    path = tmp_path / "caseA" / "journal.jsonl"
+    with open(path, "ab") as fh:  # simulate a crash mid-write
+        fh.write(b'{"kind": "event", "name": "torn", "fie')
+    view = read_journal(path)
+    assert view.truncated
+    assert [r.get("name") for r in view.records] == [None, "kept"]
+    assert not view.complete
+
+
+def test_reopen_truncates_torn_tail_and_continues_seq(tmp_path):
+    j = RunJournal.create(tmp_path, run_id="caseA")
+    j.write({"kind": "event", "name": "kept"})
+    j.flush()
+    path = tmp_path / "caseA" / "journal.jsonl"
+    with open(path, "ab") as fh:
+        fh.write(b'{"kind": "ev')
+    j2 = RunJournal.open(tmp_path / "caseA")
+    j2.write({"kind": "event", "name": "resumed"})
+    j2.close()
+    view = read_journal(path)
+    assert not view.truncated and view.complete
+    names = [r.get("name") for r in view.records if r["kind"] == "event"]
+    assert names == ["kept", "resumed"]
+    seqs = [r["seq"] for r in view.records]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+def test_recover_tail_noop_on_clean_file(tmp_path):
+    p = tmp_path / "j.jsonl"
+    p.write_bytes(b'{"a": 1}\n{"b": 2}\n')
+    assert recover_tail(p) == 0
+    p.write_bytes(b'{"a": 1}\n{"b"')
+    assert recover_tail(p) == 4
+    assert p.read_bytes() == b'{"a": 1}\n'
+
+
+def test_corrupt_interior_line_is_counted_not_fatal(tmp_path):
+    j = RunJournal.create(tmp_path, run_id="caseA")
+    j.write({"kind": "event", "name": "a"})
+    j.flush()
+    path = tmp_path / "caseA" / "journal.jsonl"
+    with open(path, "ab") as fh:
+        fh.write(b"NOT JSON AT ALL\n")
+    j2 = RunJournal.open(tmp_path / "caseA")
+    j2.write({"kind": "event", "name": "b"})
+    j2.close()
+    view = read_journal(path)
+    assert view.corrupt == 1
+    assert [e.name for e in view.events()] == ["a", "b"]
+
+
+def test_concurrent_writers_interleave_at_line_granularity(tmp_path):
+    j = RunJournal.create(tmp_path, run_id="caseA")
+    n_threads, per_thread = 8, 200
+
+    def pound(t: int) -> None:
+        for i in range(per_thread):
+            j.write({"kind": "event", "name": f"t{t}", "fields": {"i": i}})
+
+    threads = [threading.Thread(target=pound, args=(t,)) for t in range(n_threads)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    j.close()
+    view = read_journal(tmp_path / "caseA")
+    assert view.corrupt == 0 and not view.truncated
+    events = view.events()
+    assert len(events) == n_threads * per_thread
+    # every thread's records arrive in its own program order
+    for t in range(n_threads):
+        seq = [e.fields["i"] for e in events if e.name == f"t{t}"]
+        assert seq == list(range(per_thread))
+    # seq numbering is a total order with no gaps
+    seqs = [r["seq"] for r in view.records]
+    assert seqs == list(range(len(view.records)))
+
+
+def test_atexit_flush_preserves_tail_of_crashed_run(tmp_path):
+    """A producer that never calls close() still lands its records."""
+    script = (
+        "import sys\n"
+        "from repro.obs.journal import RunJournal\n"
+        "j = RunJournal.create(sys.argv[1], run_id='crashy', flush_every=10**9)\n"
+        "for i in range(5):\n"
+        "    j.write({'kind': 'event', 'name': f'e{i}'})\n"
+        # no close(), no flush(): interpreter exit must save the tail
+    )
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    subprocess.run(
+        [sys.executable, "-c", script, str(tmp_path)], check=True, env=env, timeout=60
+    )
+    view = read_journal(tmp_path / "crashy")
+    assert not view.complete  # no run.end: this run crashed
+    assert [e.name for e in view.events()] == [f"e{i}" for i in range(5)]
+
+
+# -- recorder integration (satellite: bounded buffers) -------------------------
+
+
+def test_attach_journal_bounds_recorder_buffers(tmp_path):
+    rec = obs.TelemetryRecorder(run_id="caseA", capacity=100_000)
+    j = RunJournal.create(tmp_path, run_id="caseA")
+    rec.attach_journal(j, spill_capacity=16)
+    for i in range(200):
+        rec.event("tick", i=i)
+        with rec.span("work", i=i):
+            pass
+    assert len(rec.events) <= 16
+    assert len(rec.tracer) <= 16
+    rec.detach_journal()
+    j.close()
+    view = read_journal(tmp_path / "caseA")
+    # ... but the journal archived every one of them
+    assert sum(1 for e in view.events() if e.name == "tick") == 200
+    assert sum(1 for s in view.spans() if s.name == "work") == 200
+
+
+def test_journal_records_spans_events_metrics_from_recorder(tmp_path):
+    rec = obs.TelemetryRecorder(run_id="caseA")
+    j = RunJournal.create(tmp_path, run_id="caseA")
+    rec.attach_journal(j)
+    with rec.span("outer"):
+        with rec.span("inner"):
+            rec.event("deep", level="warning")
+    rec.counter("widgets_total").inc(3)
+    j.metrics_snapshot(rec.metrics.as_dict(), label="final")
+    rec.detach_journal()
+    j.close()
+    view = read_journal(tmp_path / "caseA")
+    spans = {s.name: s for s in view.spans()}
+    assert spans["inner"].parent_id == spans["outer"].span_id
+    assert [e.name for e in view.events()] == ["deep"]
+    assert view.last_metrics()["widgets_total"] == 3.0

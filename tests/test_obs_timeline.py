@@ -1,0 +1,131 @@
+"""Machine-utilization and workflow timelines (the Table-3 view).
+
+Contracts of :mod:`repro.obs.timeline`:
+
+* node assignment is deterministic first-fit (same allocations → same
+  Gantt, run after run);
+* utilization = busy-node-seconds / (nodes × makespan);
+* the machine view rebuilds from journaled scheduler events alone;
+* sim/analysis overlap fraction comes from merged span intervals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import MachineSpec, QueuePolicy, Scheduler
+from repro.machines.scheduler import Job
+from repro.obs import Allocation, MachineTimeline, WorkflowTimeline, TelemetryRecorder
+from repro.obs.spans import Span
+
+
+def _span(name, t0, t1, thread="MainThread", **fields):
+    return Span(name=name, t0=t0, t1=t1, wall0=0.0, thread=thread, fields=fields)
+
+
+# -- machine timeline ----------------------------------------------------------
+
+
+def test_node_assignment_is_deterministic_first_fit():
+    allocs = [
+        Allocation("a", 2, 0.0, 4.0),
+        Allocation("b", 1, 0.0, 2.0),
+        Allocation("c", 1, 2.0, 5.0),
+    ]
+    tl = MachineTimeline(n_nodes=3, allocations=allocs)
+    asn = tl.node_assignment()
+    # 'a' grabs nodes 0-1, 'b' node 2; 'c' reuses node 2 after 'b' frees it
+    assert asn["a"] == [0, 1]
+    assert asn["b"] == [2]
+    assert asn["c"] == [2]
+    tl2 = MachineTimeline(n_nodes=3, allocations=list(reversed(allocs)))
+    assert tl2.node_assignment() == asn  # input order is irrelevant
+
+
+def test_utilization_accounting():
+    tl = MachineTimeline(
+        n_nodes=2,
+        allocations=[Allocation("a", 1, 0.0, 10.0), Allocation("b", 1, 5.0, 10.0)],
+    )
+    assert tl.makespan == pytest.approx(10.0)
+    assert tl.busy_node_seconds() == pytest.approx(15.0)
+    assert tl.utilization() == pytest.approx(0.75)
+    assert tl.per_node_busy() == [pytest.approx(10.0), pytest.approx(5.0)]
+
+
+def test_gantt_renders_every_node_row():
+    tl = MachineTimeline(
+        n_nodes=2,
+        machine="titan",
+        allocations=[Allocation("a", 2, 0.0, 1.0), Allocation("b", 1, 1.0, 2.0)],
+    )
+    art = tl.gantt(width=40)
+    assert "titan" in art and "node   0" in art and "node   1" in art
+    assert "a=a" in art and "b=b" in art  # legend maps letters to job names
+
+
+def test_machine_timeline_from_scheduler_events():
+    """The journal path: run a real scheduler, rebuild the view from the
+    recorder's events only (what ``python -m repro.obs timeline`` does)."""
+    rec = TelemetryRecorder(run_id="r1")
+    from repro import obs
+
+    prev = obs.set_recorder(rec)
+    try:
+        machine = MachineSpec(
+            name="mira",
+            n_nodes=4,
+            cores_per_node=1,
+            charge_factor=1.0,
+            has_gpu=False,
+            queue=QueuePolicy(),
+        )
+        sched = Scheduler(machine)
+        for i, (nodes, dur) in enumerate([(2, 3600.0), (2, 1800.0), (4, 900.0)]):
+            sched.submit(Job(name=f"j{i}", n_nodes=nodes, duration=dur))
+        sched.run()
+    finally:
+        obs.set_recorder(prev)
+    events = list(rec.events.snapshot())
+    tl = MachineTimeline.from_events(events)
+    assert tl.n_nodes == 4
+    assert len(tl.allocations) == 3
+    direct = MachineTimeline.from_scheduler(sched)
+    assert tl.node_assignment() == direct.node_assignment()
+    assert 0.0 < tl.utilization() <= 1.0
+
+
+# -- workflow timeline ---------------------------------------------------------
+
+
+def test_overlap_fraction_from_span_intervals():
+    spans = [
+        _span("workflow.sim", 0.0, 10.0),
+        _span("insitu.execute", 2.0, 4.0),
+        _span("offline.center_job", 8.0, 12.0, thread="listener"),
+    ]
+    wf = WorkflowTimeline(spans=spans, metrics={})
+    assert wf.sim_seconds() == pytest.approx(10.0)
+    # analysis inside [2,4] and [8,12]; overlap with sim = 2 + 2 = 4
+    assert wf.overlap_fraction() == pytest.approx(0.4)
+
+
+def test_overlap_zero_without_sim():
+    wf = WorkflowTimeline(spans=[_span("offline.x", 0.0, 1.0)], metrics={})
+    assert wf.sim_seconds() == 0.0
+    assert wf.overlap_fraction() == 0.0
+
+
+def test_staging_throughput_uses_metrics_and_staging_spans():
+    spans = [_span("staging.put", 0.0, 2.0)]
+    wf = WorkflowTimeline(spans=spans, metrics={"staging_bytes_staged_total": 4.0e6})
+    assert wf.staging_throughput() == pytest.approx(2.0e6)
+
+
+def test_render_contains_a_lane_per_thread():
+    spans = [
+        _span("workflow.sim", 0.0, 1.0),
+        _span("exec.item", 0.2, 0.4, thread="exec-worker-0"),
+    ]
+    art = WorkflowTimeline(spans=spans, metrics={}).render(width=40)
+    assert "MainThread" in art and "exec-worker-0" in art
