@@ -46,6 +46,7 @@ from ..insitu.algorithms import (
     Level2WriterAlgorithm,
 )
 from ..insitu.manager import InSituAnalysisManager
+from ..insitu.pipeline import AsyncInSituManager
 from ..io.catalog import HaloCatalog, merge_catalogs
 from ..io.genericio import GenericIOFile
 from ..machines.listener import Listener
@@ -177,6 +178,9 @@ def run_combined_workflow(
     retry: RetryPolicy | None = None,
     journal_dir: str | os.PathLike | None = None,
     run_id: str | None = None,
+    spmd_transport=None,
+    pipeline_insitu: bool = False,
+    analysis_steps: list[int] | None = None,
 ) -> CombinedRunResult:
     """Run the combined in-situ/off-line workflow for real.
 
@@ -188,6 +192,21 @@ def run_combined_workflow(
     ``analysis_workers > 1`` runs every off-line center job on the
     :mod:`repro.exec` multi-process engine (same results, the node's
     cores actually used).
+
+    ``spmd_transport`` selects the halo finder's SPMD substrate
+    (``"thread"``, ``"process"``, or a
+    :class:`~repro.parallel.transport.SpmdConfig`); ``"process"`` forks
+    one OS process per analysis rank for real multi-core FOF.
+    ``pipeline_insitu=True`` runs the in-situ chain on a snapshot buffer
+    concurrently with the next simulation steps
+    (:class:`~repro.insitu.pipeline.AsyncInSituManager`): the catalogs
+    are bit-identical to the serial run, but analysis wall time overlaps
+    simulation wall time (``WorkflowTimeline.overlap_fraction() > 0``).
+    ``analysis_steps`` lists the steps the in-situ chain fires at
+    (default: the final step only, the paper's Level 2 cadence); it must
+    include ``config.n_steps``, whose catalog is the final product —
+    earlier steps' products stay available through the analysis history
+    and give the pipelining something to overlap.
 
     ``retry`` is the listener's submit policy (``None`` → the tree-wide
     default of 3 attempts).  An off-line job that fails every attempt
@@ -219,40 +238,52 @@ def run_combined_workflow(
             retry=retry,
             journal_dir=journal_dir,
             run_id=run_id,
+            spmd_transport=spmd_transport,
+            pipeline_insitu=pipeline_insitu,
+            analysis_steps=analysis_steps,
         )
     rec = get_recorder()
     spool_dir = os.fspath(spool_dir)
     os.makedirs(spool_dir, exist_ok=True)
     last_step = config.n_steps
+    steps = sorted(set(analysis_steps)) if analysis_steps is not None else [last_step]
+    if last_step not in steps:
+        raise ValueError(
+            f"analysis_steps must include the final step {last_step} "
+            "(its catalog is the run's Level 3 product)"
+        )
     rec.event(
         "workflow.start",
         mode="coscheduled" if coschedule else "simple",
         threshold=threshold,
         n_steps=config.n_steps,
+        pipeline_insitu=pipeline_insitu,
     )
 
     manager = InSituAnalysisManager()
     manager.register(
         HaloFinderAlgorithm(
-            at_steps=last_step,
+            at_steps=steps,
             linking_length_factor=linking_length_factor,
             min_count=min_count,
             n_ranks=n_ranks,
+            transport=spmd_transport,
         )
     )
-    manager.register(HaloCenterAlgorithm(at_steps=last_step, threshold=threshold))
-    manager.register(Level2WriterAlgorithm(at_steps=last_step, output_dir=spool_dir))
+    manager.register(HaloCenterAlgorithm(at_steps=steps, threshold=threshold))
+    manager.register(Level2WriterAlgorithm(at_steps=steps, output_dir=spool_dir))
+    exec_manager = AsyncInSituManager(manager) if pipeline_insitu else manager
 
-    offline_catalogs: list[HaloCatalog] = []
+    offline_catalogs: list[tuple[int, HaloCatalog]] = []
     listener_stats = None
     completed_steps: set[int] = set()
 
     def submit(path: str, step: int, script: str) -> None:
         maybe_inject("offline.job", key=step)
-        offline_catalogs.append(offline_center_job(path, workers=analysis_workers))
+        offline_catalogs.append((step, offline_center_job(path, workers=analysis_workers)))
         completed_steps.add(step)
 
-    sim = HACCSimulation(config, analysis_manager=manager)
+    sim = HACCSimulation(config, analysis_manager=exec_manager)
 
     if coschedule:
         listener = Listener(
@@ -263,12 +294,20 @@ def run_combined_workflow(
             try:
                 sim.run()
             finally:
-                listener.stop(final_poll=True)
+                # pipelined analyses must land (Level 2 files written) before
+                # the listener's final poll; close() re-raises their failures
+                try:
+                    if pipeline_insitu:
+                        exec_manager.close()
+                finally:
+                    listener.stop(final_poll=True)
         listener_stats = listener.stats
         level2_paths = sorted(listener.seen)
     else:
         with rec.span("workflow.sim", coschedule=False):
             sim.run()
+        if pipeline_insitu:
+            exec_manager.close()
         listener = Listener(spool_dir, "l2_step*.gio", submit, retry=retry)
         with rec.span("workflow.offline"):
             fresh = listener.poll_once()  # one shot after the run ("queued after sim")
@@ -279,8 +318,12 @@ def run_combined_workflow(
     insitu_catalog: HaloCatalog = ctx.store["centers"]["catalog"]
     offloaded = ctx.store["centers"]["offloaded_halo_tags"]
     with rec.span("workflow.merge"):
+        # the Level 3 product is single-epoch: only the final step's
+        # off-line catalog merges in (earlier analysis_steps' catalogs
+        # stay reachable through manager.history / the spool)
+        final_offline = [cat for step, cat in offline_catalogs if step == last_step]
         offline_catalog = (
-            merge_catalogs(*offline_catalogs) if offline_catalogs else HaloCatalog()
+            merge_catalogs(*final_offline) if final_offline else HaloCatalog()
         )
         merged = merge_catalogs(insitu_catalog, offline_catalog)
 
@@ -337,6 +380,9 @@ def _run_combined_journaled(
     retry: RetryPolicy | None,
     journal_dir: str | os.PathLike,
     run_id: str | None,
+    spmd_transport=None,
+    pipeline_insitu: bool = False,
+    analysis_steps: list[int] | None = None,
 ) -> CombinedRunResult:
     """The durable wrapper around :func:`run_combined_workflow`.
 
@@ -370,6 +416,9 @@ def _run_combined_journaled(
                 "n_ranks": n_ranks,
                 "coschedule": coschedule,
                 "analysis_workers": analysis_workers,
+                "spmd_transport": str(spmd_transport) if spmd_transport else None,
+                "pipeline_insitu": pipeline_insitu,
+                "analysis_steps": analysis_steps,
             },
             "sim": asdict(config),
         },
@@ -393,6 +442,9 @@ def _run_combined_journaled(
                     listener_poll=listener_poll,
                     analysis_workers=analysis_workers,
                     retry=retry,
+                    spmd_transport=spmd_transport,
+                    pipeline_insitu=pipeline_insitu,
+                    analysis_steps=analysis_steps,
                 )
             except BaseException:
                 status = "error"

@@ -25,6 +25,7 @@ from .engine import (
     default_workers,
     parallel_halo_centers,
     parallel_subhalos,
+    shutdown_pool,
 )
 from .sharedmem import SharedParticleStore
 from .workqueue import HaloWorkQueue, WorkItem
@@ -41,4 +42,5 @@ __all__ = [
     "default_workers",
     "parallel_halo_centers",
     "parallel_subhalos",
+    "shutdown_pool",
 ]

@@ -38,9 +38,9 @@ Design (see :mod:`repro.exec.workqueue` for the scheduling policy):
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import queue as queue_module
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -57,15 +57,10 @@ from ..analysis.centers import (
     mbp_center_astar,
     mbp_center_bruteforce,
 )
-from ..faults import (
-    DeadLetterBox,
-    FaultPlan,
-    get_fault_plan,
-    maybe_inject,
-    set_fault_plan,
-)
-from ..obs import NullRecorder, TelemetryRecorder, get_recorder, set_recorder
-from ..obs.context import export_snapshot, merge_snapshot
+from ..faults import DeadLetterBox, get_fault_plan, maybe_inject
+from ..obs import NullRecorder, TelemetryRecorder, get_recorder
+from ..obs.context import merge_snapshot
+from .pool import WorkerPool
 from .sharedmem import SharedParticleStore
 from .workqueue import HaloWorkQueue, WorkItem
 
@@ -78,6 +73,7 @@ __all__ = [
     "default_workers",
     "parallel_halo_centers",
     "parallel_subhalos",
+    "shutdown_pool",
 ]
 
 
@@ -287,87 +283,75 @@ _TASK_RUNNERS: dict[str, Callable[..., list[tuple[Any, ...]]]] = {
 
 
 # ---------------------------------------------------------------------------
-# worker process
+# the shared worker pool
 # ---------------------------------------------------------------------------
+#
+# One long-lived WorkerPool (see repro.exec.pool) is shared by every
+# engine in the process, so a campaign that runs the engine once per
+# analysis step pays the fork + warm-up cost once, not per step.  The
+# pool runs one job at a time; a second engine running concurrently on
+# another thread (e.g. the pipelined in-situ chain next to an off-line
+# job) gets a private ephemeral pool instead of blocking.
+
+_SHARED_POOL: WorkerPool | None = None
+_SHARED_POOL_LOCK = threading.Lock()
 
 
-def _worker_main(
-    worker_id: int,
-    spec: dict[str, Any],
-    items: list[WorkItem],
-    seed_ids: list[int],
-    pool_ids: list[int],
-    cursor: Any,  # multiprocessing.Value("l") — ctx-specific Synchronized[int]
-    abort: Any,  # multiprocessing Event from the engine's ctx
-    result_q: Any,  # multiprocessing Queue from the engine's ctx
-    task: dict[str, Any],
-    plan_dict: dict[str, Any] | None = None,
-    catch_item_errors: bool = False,
-    trace: dict[str, Any] | None = None,
-) -> None:
-    if plan_dict is not None:
-        # install a fresh copy of the parent's fault plan (spawn contexts
-        # don't inherit it; fork contexts get deterministic per-worker
-        # attempt state this way instead of the parent's history)
-        set_fault_plan(FaultPlan.from_dict(plan_dict))
-    local_rec: TelemetryRecorder | None = None
-    if trace is not None:
-        # the parent shipped a trace context: record telemetry locally
-        # (events from fault injection, counters, any kernel spans) and
-        # ship one snapshot back with the "done" message, so the parent's
-        # journal/trace covers this process too
-        local_rec = TelemetryRecorder(run_id=trace.get("run"), capacity=4096)
-        set_recorder(local_rec)
-    store = SharedParticleStore.attach(spec)
-    runner = _TASK_RUNNERS[task["task"]]
-    cache: dict[int, np.ndarray] = {}
-    busy = 0.0
-    steals = 0
-    t_prev = time.perf_counter()
-    try:
-        def run_one(item_id: int, stolen: bool) -> None:
-            nonlocal busy, t_prev
-            item = items[item_id]
-            t0 = time.perf_counter()
-            overhead = t0 - t_prev
-            try:
-                maybe_inject("exec.item", item_id)
-                payload = runner(item, store, task, cache)
-            except Exception:
-                if not catch_item_errors:
-                    raise
-                t1 = time.perf_counter()
-                busy += t1 - t0
-                t_prev = t1
-                result_q.put(
-                    ("item_error", worker_id, item_id, traceback.format_exc())
-                )
-                return
-            t1 = time.perf_counter()
-            busy += t1 - t0
-            t_prev = t1
-            result_q.put(("ok", worker_id, item_id, payload, t0, t1, overhead, stolen))
+def _acquire_pool(
+    n_workers: int, start_method: str | None
+) -> tuple[WorkerPool, bool, bool]:
+    """Borrow the shared pool (or build one). Returns (pool, shared, reused).
 
-        for item_id in seed_ids:
-            if abort.is_set():
-                break
-            run_one(item_id, stolen=False)
-        while not abort.is_set():
-            with cursor.get_lock():
-                nxt = cursor.value
-                if nxt >= len(pool_ids):
-                    break
-                cursor.value = nxt + 1
-            steals += 1
-            run_one(pool_ids[nxt], stolen=True)
-        snap = export_snapshot(local_rec) if local_rec is not None else None
-        result_q.put(("done", worker_id, busy, steals, snap))
-    except BaseException:  # repro: noqa[RPR006] - traceback is shipped to the
-        # parent over result_q, which re-raises it as WorkerError (crash
-        # isolation): the failure is loudly observable, never swallowed.
-        result_q.put(("error", worker_id, traceback.format_exc()))
-    finally:
-        store.close()
+    ``shared=True`` means the caller holds ``_SHARED_POOL_LOCK`` and must
+    release it through :func:`_release_pool`; ``reused=True`` means an
+    existing pool's workers take this job (no forks).
+    """
+    global _SHARED_POOL
+    if _SHARED_POOL_LOCK.acquire(blocking=False):
+        pool = _SHARED_POOL
+        if (
+            pool is not None
+            and pool.alive
+            and pool.n_workers >= n_workers
+            and pool.start_method == start_method
+        ):
+            return pool, True, True
+        if pool is not None:
+            pool.close()
+        _SHARED_POOL = WorkerPool(n_workers, start_method)
+        return _SHARED_POOL, True, False
+    # the shared pool is busy on another thread: private one-job pool
+    return WorkerPool(n_workers, start_method), False, False
+
+
+def _release_pool(pool: WorkerPool, shared: bool, broken: bool) -> None:
+    """Return a pool borrowed via :func:`_acquire_pool`."""
+    global _SHARED_POOL
+    if broken:
+        pool.mark_broken()
+    if shared:
+        try:
+            if broken:
+                pool.close()
+                if _SHARED_POOL is pool:
+                    _SHARED_POOL = None
+        finally:
+            _SHARED_POOL_LOCK.release()
+    else:
+        pool.close()
+
+
+def shutdown_pool() -> None:
+    """Tear down the process-wide shared worker pool (safe to call anytime).
+
+    The pool also has its own ``atexit`` backstop; call this explicitly
+    to reclaim the worker processes early (tests do).
+    """
+    global _SHARED_POOL
+    with _SHARED_POOL_LOCK:
+        if _SHARED_POOL is not None:
+            _SHARED_POOL.close()
+            _SHARED_POOL = None
 
 
 # ---------------------------------------------------------------------------
@@ -530,9 +514,8 @@ class ExecutionEngine:
         task: dict[str, Any],
         n_workers: int,
     ) -> tuple[list[tuple[int, list[tuple[Any, ...]]]], ExecReport]:
-        ctx = multiprocessing.get_context(self.start_method)
+        rec = get_recorder()
         store = SharedParticleStore.create(**arrays)
-        procs: list[Any] = []
         error: WorkerError | None = None
         payloads: list[tuple[int, list[tuple[Any, ...]]]] = []
         log: list[ItemRecord] = []
@@ -544,13 +527,17 @@ class ExecutionEngine:
         # trace context for the workers: run id + the open exec.run span
         # (run() holds it on this thread), so worker telemetry comes back
         # causally parented under the driver's trace
-        ctx_trace = get_recorder().trace_context()
+        ctx_trace = rec.trace_context()
         trace_dict = ctx_trace.to_dict() if ctx_trace is not None else None
         snaps: dict[int, dict[str, Any] | None] = {}
+        wpool, shared, reused = _acquire_pool(n_workers, self.start_method)
+        if reused:
+            rec.counter(
+                "exec_pool_reuse_total",
+                help="engine runs served by an already-warm worker pool",
+            ).inc()
+        broken = False
         try:
-            result_q = ctx.Queue()
-            cursor = ctx.Value("l", 0)
-            abort = ctx.Event()
             # re-balance seeds onto the actual worker count
             seeds: list[list[int]] = [[] for _ in range(n_workers)]
             flat_seeds = [i for ids in work.seeds for i in ids]
@@ -560,89 +547,81 @@ class ExecutionEngine:
                     seeds[rank].append(item_id)
                 else:
                     pool.insert(rank - n_workers, item_id)
-            for w in range(n_workers):
-                p = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        w,
-                        store.spec,
-                        work.items,
-                        seeds[w],
-                        pool,
-                        cursor,
-                        abort,
-                        result_q,
-                        task,
-                        plan_dict,
-                        self.item_retries > 0,
-                        trace_dict,
-                    ),
-                    name=f"exec-worker-{w}",
-                    daemon=True,
-                )
-                procs.append(p)
-                p.start()
+            job_id = wpool.submit(
+                n_workers,
+                store.spec,
+                work.items,
+                seeds,
+                pool,
+                task,
+                plan_dict,
+                self.item_retries > 0,
+                trace_dict,
+            )
 
             finished: set[int] = set()
             deadline = time.monotonic() + self.result_timeout
             while len(finished) < n_workers:
                 try:
-                    msg = result_q.get(timeout=0.2)
+                    msg = wpool.get(timeout=0.2)
                 except queue_module.Empty:
                     dead = [
                         w
                         for w in range(n_workers)
-                        if w not in finished and not procs[w].is_alive()
+                        if w not in finished and not wpool.worker_alive(w)
                     ]
                     if dead:
-                        abort.set()
+                        wpool.abort_job()
+                        broken = True
                         if error is None:
                             error = WorkerError(
                                 f"worker {dead[0]} died without reporting "
-                                f"(exitcode {procs[dead[0]].exitcode})",
+                                f"(exitcode {wpool.worker_exitcode(dead[0])})",
                                 worker_id=dead[0],
                             )
                         finished.update(dead)
                     if time.monotonic() > deadline:
-                        abort.set()
+                        wpool.abort_job()
+                        broken = True
                         error = error or WorkerError(
                             f"timed out after {self.result_timeout:.0f}s waiting "
                             f"for workers {sorted(set(range(n_workers)) - finished)}"
                         )
                         break
                     continue
+                if msg[1] != job_id:
+                    # straggler from an earlier aborted job on a reused
+                    # pool: job-id tagging makes it harmless
+                    continue
                 if msg[0] == "ok":
-                    _, w, item_id, payload, t0, t1, overhead, stolen = msg
+                    _, _, w, item_id, payload, t0, t1, overhead, stolen = msg
                     payloads.append((item_id, payload))
                     item = work.items[item_id]
                     log.append(
                         ItemRecord(w, item.kind, item.n_halos, item.cost, t0, t1, overhead, stolen)
                     )
                 elif msg[0] == "done":
-                    _, w, wbusy, wsteals, snap = msg
+                    _, _, w, wbusy, wsteals, snap = msg
                     busy[w] = wbusy
                     steals[w] = wsteals
                     snaps[w] = snap
                     finished.add(w)
                 elif msg[0] == "item_error":
-                    _, w, item_id, tb = msg
+                    _, _, w, item_id, tb = msg
                     failed_items.append((item_id, tb))
                 elif msg[0] == "error":
-                    _, w, tb = msg
-                    abort.set()
+                    # the worker shipped the traceback and survives for
+                    # the next job; the batch still fails loudly
+                    _, _, w, tb = msg
+                    wpool.abort_job()
                     finished.add(w)
                     if error is None:
                         last = tb.strip().splitlines()[-1] if tb.strip() else "unknown"
                         error = WorkerError(
                             f"worker {w} failed: {last}", worker_id=w, remote_traceback=tb
                         )
-            for p in procs:
-                p.join(timeout=10.0)
-            for p in procs:
-                if p.is_alive():  # pragma: no cover - last-resort cleanup
-                    p.terminate()
-                    p.join(timeout=5.0)
         finally:
+            _release_pool(wpool, shared, broken)
             store.unlink()
         if error is not None:
             raise error

@@ -1,0 +1,287 @@
+"""Persistent worker-process pool for the execution engine.
+
+Historically :class:`~repro.exec.engine.ExecutionEngine` forked a fresh
+set of worker processes for every batch.  At mini-HACC scale the fork +
+interpreter warm-up + module import cost is a fixed tax per analysis
+step — paid dozens of times in a campaign that runs the off-line center
+job once per snapshot.  :class:`WorkerPool` keeps the workers alive
+between batches instead:
+
+* one OS process per worker, started once, fed through a per-worker job
+  queue (job payloads are tiny: the shared-memory spec, the work items,
+  and the task dict — bulk arrays still travel through
+  :class:`~repro.exec.sharedmem.SharedParticleStore` segments);
+* the work-stealing cursor and the abort event are created once and
+  *inherited* at fork (``multiprocessing`` synchronization primitives
+  cannot be shipped through queues), then reset by the dispatcher
+  before each job;
+* every result message carries its job id, so a straggler message from
+  an aborted job can never corrupt the next one;
+* per job, each worker installs a fresh fault plan and a fresh local
+  telemetry recorder — exactly the state a newly forked worker would
+  have, which keeps pooled runs bit-identical to the fork-per-run path;
+* a worker that ships an ``error`` message survives to take the next
+  job (the engine still raises
+  :class:`~repro.exec.engine.WorkerError`); a worker that *dies* or
+  times out marks the pool broken, and the engine tears it down and
+  builds a fresh one.
+
+The engine exposes reuse through the ``exec_pool_reuse_total`` counter;
+pool processes are daemons with an ``atexit`` backstop, so an abandoned
+pool can never outlive the interpreter.
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+import traceback
+from multiprocessing import get_context
+from typing import TYPE_CHECKING, Any
+
+from ..faults import FaultPlan, maybe_inject, set_fault_plan
+from ..obs import NullRecorder, TelemetryRecorder, set_recorder
+from ..obs.context import export_snapshot
+from .sharedmem import SharedParticleStore
+
+if TYPE_CHECKING:
+    from .workqueue import WorkItem
+
+__all__ = ["WorkerPool"]
+
+
+def _pool_worker_main(
+    worker_id: int,
+    job_q: Any,  # multiprocessing Queue from the pool's ctx
+    result_q: Any,  # multiprocessing Queue from the pool's ctx
+    cursor: Any,  # multiprocessing.Value("l") — inherited, reset per job
+    abort: Any,  # multiprocessing Event — inherited, cleared per job
+) -> None:
+    """Worker loop: take one job at a time until the ``None`` sentinel."""
+    # lazy import: the runner registry lives in engine.py, which imports
+    # this module
+    from .engine import _TASK_RUNNERS
+
+    while True:
+        job = job_q.get()
+        if job is None:
+            break
+        (
+            job_id,
+            spec,
+            items,
+            seed_ids,
+            pool_ids,
+            task,
+            plan_dict,
+            catch_item_errors,
+            trace,
+        ) = job
+        # fresh per-job state, exactly as a newly forked worker would have:
+        # deterministic fault-plan attempt counters and a local recorder
+        # whose snapshot ships back with the "done" message
+        set_fault_plan(FaultPlan.from_dict(plan_dict) if plan_dict is not None else None)
+        local_rec: TelemetryRecorder | None = None
+        if trace is not None:
+            local_rec = TelemetryRecorder(run_id=trace.get("run"), capacity=4096)
+            set_recorder(local_rec)
+        else:
+            set_recorder(NullRecorder())
+        store = SharedParticleStore.attach(spec)
+        runner = _TASK_RUNNERS[task["task"]]
+        cache: dict[int, Any] = {}
+        busy = 0.0
+        steals = 0
+        t_prev = time.perf_counter()
+        try:
+
+            def run_one(item_id: int, stolen: bool) -> None:
+                nonlocal busy, t_prev
+                item: WorkItem = items[item_id]
+                t0 = time.perf_counter()
+                overhead = t0 - t_prev
+                try:
+                    maybe_inject("exec.item", item_id)
+                    payload = runner(item, store, task, cache)
+                except Exception:
+                    if not catch_item_errors:
+                        raise
+                    t1 = time.perf_counter()
+                    busy += t1 - t0
+                    t_prev = t1
+                    result_q.put(
+                        ("item_error", job_id, worker_id, item_id, traceback.format_exc())
+                    )
+                    return
+                t1 = time.perf_counter()
+                busy += t1 - t0
+                t_prev = t1
+                result_q.put(
+                    ("ok", job_id, worker_id, item_id, payload, t0, t1, overhead, stolen)
+                )
+
+            for item_id in seed_ids:
+                if abort.is_set():
+                    break
+                run_one(item_id, stolen=False)
+            while not abort.is_set():
+                with cursor.get_lock():
+                    nxt = cursor.value
+                    if nxt >= len(pool_ids):
+                        break
+                    cursor.value = nxt + 1
+                steals += 1
+                run_one(pool_ids[nxt], stolen=True)
+            snap = export_snapshot(local_rec) if local_rec is not None else None
+            result_q.put(("done", job_id, worker_id, busy, steals, snap))
+        except BaseException:  # repro: noqa[RPR006] - traceback is shipped to
+            # the parent over result_q, which raises WorkerError (crash
+            # isolation); the worker itself survives to take the next job.
+            result_q.put(("error", job_id, worker_id, traceback.format_exc()))
+        finally:
+            store.close()
+
+
+class WorkerPool:
+    """A reusable set of worker processes fed through job queues.
+
+    One dispatcher thread drives one job at a time (``submit`` then
+    drain via :meth:`get` until every participating worker reported
+    ``done``/``error``).  The engine owns the lifecycle; see
+    :meth:`ExecutionEngine.close <repro.exec.engine.ExecutionEngine.close>`.
+    """
+
+    def __init__(self, n_workers: int, start_method: str | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        self.start_method = start_method
+        ctx = get_context(start_method)
+        self._result_q: Any = ctx.Queue()
+        self._cursor: Any = ctx.Value("l", 0)
+        self._abort: Any = ctx.Event()
+        self._job_qs: list[Any] = [ctx.Queue() for _ in range(self.n_workers)]
+        self._procs: list[Any] = []
+        self._job_seq = 0
+        self._broken = False
+        self._closed = False
+        for w in range(self.n_workers):
+            p = ctx.Process(
+                target=_pool_worker_main,
+                args=(w, self._job_qs[w], self._result_q, self._cursor, self._abort),
+                name=f"exec-worker-{w}",
+                daemon=True,
+            )
+            self._procs.append(p)
+            p.start()
+        # backstop: an abandoned pool must not outlive the interpreter
+        # (the processes are daemons, but a clean join avoids noise)
+        atexit.register(self.close)
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Usable for another job: not broken, not closed, workers up."""
+        return (
+            not self._broken
+            and not self._closed
+            and all(p.is_alive() for p in self._procs)
+        )
+
+    def worker_alive(self, worker_id: int) -> bool:
+        return bool(self._procs[worker_id].is_alive())
+
+    def worker_exitcode(self, worker_id: int) -> int | None:
+        code = self._procs[worker_id].exitcode
+        return None if code is None else int(code)
+
+    def mark_broken(self) -> None:
+        """A job ended un-drainably (death/timeout): no further reuse."""
+        self._broken = True
+
+    # -- job dispatch ----------------------------------------------------------
+
+    def submit(
+        self,
+        n_workers: int,
+        spec: dict[str, tuple[str, tuple[int, ...], str]],
+        items: "list[WorkItem]",
+        seeds: list[list[int]],
+        pool_ids: list[int],
+        task: dict[str, Any],
+        plan_dict: dict[str, Any] | None,
+        catch_item_errors: bool,
+        trace: dict[str, Any] | None,
+    ) -> int:
+        """Dispatch one job to the first ``n_workers`` workers.
+
+        Returns the job id that every result message for this job will
+        carry.  The caller must drain the job to completion (or mark the
+        pool broken) before submitting the next one.
+        """
+        if not self.alive:
+            raise RuntimeError("worker pool is not usable")
+        if n_workers > self.n_workers:
+            raise ValueError(f"job needs {n_workers} workers, pool has {self.n_workers}")
+        job_id = self._job_seq
+        self._job_seq += 1
+        # reset the inherited primitives: no worker holds a job right now
+        self._abort.clear()
+        with self._cursor.get_lock():
+            self._cursor.value = 0
+        for w in range(n_workers):
+            self._job_qs[w].put(
+                (
+                    job_id,
+                    spec,
+                    items,
+                    seeds[w],
+                    pool_ids,
+                    task,
+                    plan_dict,
+                    catch_item_errors,
+                    trace,
+                )
+            )
+        return job_id
+
+    def get(self, timeout: float) -> Any:
+        """Next result message (raises ``queue.Empty`` on timeout)."""
+        return self._result_q.get(timeout=timeout)
+
+    def abort_job(self) -> None:
+        """Ask workers to stop at the next item boundary."""
+        self._abort.set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and release the queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        self._abort.set()
+        for q in self._job_qs:
+            try:
+                q.put_nowait(None)
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        for p in self._procs:
+            p.join(timeout=2.0)
+        for p in self._procs:
+            if p.is_alive():  # pragma: no cover - last-resort cleanup
+                p.terminate()
+                p.join(timeout=2.0)
+        for q in [*self._job_qs, self._result_q]:
+            try:
+                q.close()
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

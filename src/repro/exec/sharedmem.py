@@ -110,13 +110,25 @@ class SharedParticleStore:
 
     @classmethod
     def attach(
-        cls, spec: Mapping[str, tuple[str, tuple[int, ...], str]]
+        cls,
+        spec: Mapping[str, tuple[str, tuple[int, ...], str]],
+        adopt: bool = False,
     ) -> "SharedParticleStore":
-        """Re-open a store from its picklable :attr:`spec` (worker side)."""
+        """Re-open a store from its picklable :attr:`spec` (worker side).
+
+        With ``adopt=True`` the attaching process *takes ownership* of
+        the segments (the counterpart of :meth:`release` on the sender):
+        its ``unlink()`` frees them, and the leak tracker holds it
+        accountable.  Used by the SPMD process transport, where message
+        payloads are created by one rank and freed by their receiver.
+        """
         segments = {
             field: _attach_segment(name) for field, (name, _, _) in spec.items()
         }
-        return cls(segments, dict(spec), owner=False)
+        store = cls(segments, dict(spec), owner=adopt)
+        if adopt:
+            track_store(store)
+        return store
 
     # -- access ---------------------------------------------------------------
 
@@ -165,6 +177,18 @@ class SharedParticleStore:
                 shm.close()
             except OSError:  # pragma: no cover - defensive
                 pass
+
+    def release(self) -> None:
+        """Hand segment ownership to another process without freeing.
+
+        Drops this process's mapping and its leak-tracker entry but keeps
+        the segments alive: the receiver that re-opens them with
+        ``attach(spec, adopt=True)`` becomes the new owner/unlinker.
+        """
+        if self._owner:
+            self._owner = False
+            untrack_store(self)
+        self.close()
 
     def unlink(self) -> None:
         """Free the segments (owner only; implies :meth:`close`)."""

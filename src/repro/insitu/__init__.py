@@ -21,9 +21,13 @@ from .algorithms import (
 )
 from .config import CosmoToolsConfig, InputDeck, parse_deck, parse_value
 from .manager import InSituAnalysisManager
+from .pipeline import AsyncInSituManager, PendingAnalysis, SimSnapshot
 from .spatial import SharedStepIndex
 
 __all__ = [
+    "AsyncInSituManager",
+    "PendingAnalysis",
+    "SimSnapshot",
     "SharedStepIndex",
     "AnalysisContext",
     "InSituAlgorithm",

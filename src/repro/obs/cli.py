@@ -50,8 +50,18 @@ RACY_FIELD_KEYS = frozenset(
 )
 
 #: Counters whose totals depend on scheduling races — excluded from the
-#: canonical projection (steals vary with worker timing).
-RACY_COUNTERS = frozenset({"exec_steals_total", "listener_polls_total"})
+#: canonical projection (steals vary with worker timing; pool reuse
+#: depends on whether an earlier run in the same process left a warm
+#: worker pool behind).
+RACY_COUNTERS = frozenset(
+    {"exec_steals_total", "listener_polls_total", "exec_pool_reuse_total"}
+)
+
+#: Timing metrics measuring the scheduler itself (dispatch latency is
+#: microseconds-scale and swings orders of magnitude between a freshly
+#: forked pool and a warm-idle one) — excluded from ``diff`` drift
+#: comparison; science timings (kernel seconds) stay compared.
+RACY_TIMING_PREFIXES = ("exec_dispatch_overhead_seconds",)
 
 #: Span/event names whose *count* depends on thread timing (poll loops).
 RACY_NAMES = frozenset(
@@ -245,7 +255,8 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     s = wf.summary()
     print(
         f"sim {s['sim_seconds']:.3f} s, analysis {s['analysis_seconds']:.3f} s, "
-        f"overlap {s['overlap_fraction'] * 100.0:.1f}%, "
+        f"overlap {s['overlap_fraction'] * 100.0:.1f}% "
+        f"(solver {s['solver_overlap_fraction'] * 100.0:.1f}%), "
         f"staging {s['staging_throughput_bytes_per_s'] / 1e6:.2f} MB/s"
     )
     return 0
@@ -348,6 +359,10 @@ def _cmd_diff(args: argparse.Namespace) -> int:
             f"config drift: {a.manifest.config_hash[:12]} vs {b.manifest.config_hash[:12]}"
         )
     for name in sorted(set(ma) | set(mb)):
+        if name in RACY_COUNTERS:  # presence itself is timing-dependent
+            continue
+        if name.startswith(RACY_TIMING_PREFIXES):
+            continue
         va, vb = ma.get(name), mb.get(name)
         if va is None or vb is None:
             findings.append(f"metric {name}: only in {'B' if va is None else 'A'}")

@@ -250,6 +250,8 @@ class WorkflowTimeline:
     SIM_PREFIXES = ("sim.", "workflow.sim")
     #: span-name prefixes counted as "analysis is running"
     ANALYSIS_PREFIXES = ("offline.", "insitu.", "exec.item", "listener.submit")
+    #: span-name prefixes counted as "the solver kernel itself is running"
+    SOLVER_PREFIXES = ("sim.force",)
 
     def _intervals(self, prefixes: tuple[str, ...]) -> list[tuple[float, float]]:
         return merge_intervals(
@@ -277,6 +279,24 @@ class WorkflowTimeline:
             return 0.0
         return _overlap(sim, ana) / sim_total
 
+    def solver_overlap_fraction(self) -> float:
+        """Fraction of force-kernel wall time with analysis in flight.
+
+        Stricter than :meth:`overlap_fraction`: in-situ work invoked
+        synchronously from the step loop nests inside ``sim.step`` /
+        ``workflow.sim`` (so the coarse metric counts it) but never runs
+        while ``sim.force`` itself is on the stack.  A serial in-situ
+        run therefore scores ~0 here; only genuinely pipelined or
+        co-scheduled analysis — running *while the solver computes* —
+        scores above it.
+        """
+        solver = self._intervals(self.SOLVER_PREFIXES)
+        ana = self._intervals(self.ANALYSIS_PREFIXES)
+        solver_total = sum(t1 - t0 for t0, t1 in solver)
+        if solver_total <= 0.0:
+            return 0.0
+        return _overlap(solver, ana) / solver_total
+
     def staging_throughput(self) -> float:
         """Bytes/s through the staging area (0 when staging unused)."""
         nbytes = self.metrics.get("staging_bytes_staged_total", 0.0)
@@ -301,6 +321,7 @@ class WorkflowTimeline:
             "sim_seconds": self.sim_seconds(),
             "analysis_seconds": self.analysis_seconds(),
             "overlap_fraction": self.overlap_fraction(),
+            "solver_overlap_fraction": self.solver_overlap_fraction(),
             "staging_throughput_bytes_per_s": self.staging_throughput(),
             "lanes": {name: len(spans) for name, spans in self.lanes().items()},
         }

@@ -8,15 +8,21 @@ in-process communicator with mpi4py-compatible semantics: point-to-point
 ``allreduce``, ``alltoall``, ``reduce``).
 
 An SPMD program is a function ``fn(comm, *args)``; :func:`run_spmd`
-executes one OS thread per rank against a shared :class:`World` and
-returns the per-rank results.  Because the heavy numerics are NumPy calls
-that release the GIL, rank threads genuinely overlap, which lets the
-harness *measure* per-rank wall-clock imbalance — the quantity at the
-heart of the paper's evaluation (Table 2, Figure 4).
+executes it over a pluggable *transport* (``transport="thread"`` or
+``"process"``, see :mod:`repro.parallel.transport`).  The thread
+transport runs one OS thread per rank against a shared :class:`World`
+and is the deterministic reference; the process transport forks one OS
+process per rank over shared-memory queues for real multi-core
+parallelism.  Both move logically identical payloads, so rank programs
+produce bit-for-bit the same results on either.
 
-Messages are deep-ish copies (NumPy arrays are copied) so that ranks
-cannot accidentally share mutable state through the transport, mirroring
-distributed-memory semantics.
+Messages are deep-ish copies (NumPy arrays are copied; process hops
+copy by construction) so that ranks cannot accidentally share mutable
+state through the transport, mirroring distributed-memory semantics.
+
+:class:`Communicator` talks to its world through a narrow interface —
+``deliver`` / ``poll`` / ``barrier_wait`` / ``aborted`` — which is what
+makes the transports swappable.
 """
 
 from __future__ import annotations
@@ -24,9 +30,12 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from .transport import SpmdConfig
 
 __all__ = ["Communicator", "World", "run_spmd", "SpmdError"]
 
@@ -80,10 +89,13 @@ class _Mailbox:
 
 
 class World:
-    """Shared state backing one SPMD execution: mailboxes + barrier.
+    """Shared state backing one thread-transport SPMD execution.
 
-    Also accumulates transport statistics (message counts and payload
-    bytes) that the machine cost model uses to charge communication time.
+    Holds the per-rank mailboxes and the barrier, accumulates transport
+    statistics (message counts and payload bytes) that the machine cost
+    model uses to charge communication time, and implements the narrow
+    transport interface (``deliver`` / ``poll`` / ``barrier_wait`` /
+    ``aborted``) the :class:`Communicator` is written against.
     """
 
     def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT):
@@ -94,6 +106,7 @@ class World:
         self.mailboxes = [_Mailbox() for _ in range(size)]
         self.barrier_obj = threading.Barrier(size)
         self.abort = threading.Event()
+        self.failure: tuple[int, BaseException] | None = None
         self._stats_lock = threading.Lock()
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -103,6 +116,52 @@ class World:
         with self._stats_lock:
             self.messages_sent += 1
             self.bytes_sent += nbytes
+
+    # -- narrow transport interface (shared with _ProcessRankWorld) -----
+
+    def aborted(self) -> str | None:
+        """Abort reason if the world is dead, else ``None``."""
+        if not self.abort.is_set():
+            return None
+        if self.failure is not None:
+            rank, exc = self.failure
+            return f"world aborted (rank {rank} raised {type(exc).__name__})"
+        return "world aborted"
+
+    def fail(self, rank: int, exc: BaseException) -> None:
+        """Mark the world dead because ``rank`` raised ``exc``."""
+        with self._stats_lock:
+            if self.failure is None:
+                self.failure = (rank, exc)
+        self.abort.set()
+        self.barrier_obj.abort()
+
+    def deliver(self, dest: int, source: int, tag: int, obj: Any) -> None:
+        """Isolate ``obj`` and enqueue it on ``dest``'s mailbox."""
+        payload = _isolate(obj)
+        self.record(payload)
+        self.mailboxes[dest].inbox.put((source, tag, payload))
+
+    def poll(self, rank: int, source: int, tag: int, step: float) -> Any:
+        """One bounded matching attempt on ``rank``'s mailbox."""
+        _, _, payload = self.mailboxes[rank].match(source, tag, step)
+        return payload
+
+    def barrier_wait(self) -> None:
+        """Enter the world barrier; name the culprit if it breaks."""
+        try:
+            self.barrier_obj.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            failure = self.failure
+            if failure is not None:
+                rank, exc = failure
+                raise SpmdError(
+                    f"barrier broken: rank {rank} raised "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            raise SpmdError(
+                f"barrier broken (a rank died or timed out after {self.timeout}s)"
+            ) from None
 
 
 def _payload_bytes(obj: Any) -> int:
@@ -118,9 +177,14 @@ def _payload_bytes(obj: Any) -> int:
 
 
 class Communicator:
-    """Rank-local handle to a :class:`World` (mpi4py-flavoured API)."""
+    """Rank-local handle to a world (mpi4py-flavoured API).
 
-    def __init__(self, world: World, rank: int):
+    ``world`` is any transport implementing the narrow interface:
+    the thread :class:`World` here, or the process-backed rank world in
+    :mod:`repro.parallel.transport`.
+    """
+
+    def __init__(self, world: Any, rank: int):
         self.world = world
         self.rank = rank
         self.size = world.size
@@ -131,22 +195,21 @@ class Communicator:
         """Send ``obj`` to rank ``dest`` (non-blocking buffered send)."""
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
-        if self.world.abort.is_set():
-            raise SpmdError("world aborted")
-        payload = _isolate(obj)
-        self.world.record(payload)
-        self.world.mailboxes[dest].inbox.put((self.rank, tag, payload))
+        reason = self.world.aborted()
+        if reason is not None:
+            raise SpmdError(reason)
+        self.world.deliver(dest, self.rank, tag, obj)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Receive a message matching ``(source, tag)``; blocks until available."""
         deadline_step = min(0.25, self.world.timeout)
         waited = 0.0
         while True:
-            if self.world.abort.is_set():
-                raise SpmdError("world aborted")
+            reason = self.world.aborted()
+            if reason is not None:
+                raise SpmdError(reason)
             try:
-                _, _, payload = self.world.mailboxes[self.rank].match(source, tag, deadline_step)
-                return payload
+                return self.world.poll(self.rank, source, tag, deadline_step)
             except SpmdError:
                 waited += deadline_step
                 if waited >= self.world.timeout:
@@ -160,11 +223,13 @@ class Communicator:
     # -- collectives ----------------------------------------------------
 
     def barrier(self) -> None:
-        """Block until every rank has entered the barrier."""
-        try:
-            self.world.barrier_obj.wait(timeout=self.world.timeout)
-        except threading.BrokenBarrierError:
-            raise SpmdError("barrier broken (a rank died or timed out)") from None
+        """Block until every rank has entered the barrier.
+
+        If the barrier breaks, the raised :class:`SpmdError` names the
+        rank that died or timed out and (thread transport) chains the
+        originating exception.
+        """
+        self.world.barrier_wait()
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root`` to all ranks."""
@@ -260,15 +325,34 @@ def run_spmd(
     *args: Any,
     timeout: float = DEFAULT_TIMEOUT,
     return_world: bool = False,
+    transport: "str | SpmdConfig | None" = None,
     **kwargs: Any,
-) -> list[Any] | tuple[list[Any], World]:
+) -> list[Any] | tuple[list[Any], Any]:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` concurrent ranks.
 
     Returns the list of per-rank return values (rank order).  If any rank
     raises, the world is aborted and the first exception is re-raised
-    wrapped in :class:`SpmdError`.  With ``return_world=True`` the
-    :class:`World` (carrying transport statistics) is also returned.
+    wrapped in :class:`SpmdError`.  With ``return_world=True`` the world
+    (carrying transport statistics) is also returned.
+
+    ``transport`` selects the rank substrate: ``"thread"`` (default; the
+    deterministic in-process reference), ``"process"`` (one forked OS
+    process per rank — real parallelism), or a full
+    :class:`~repro.parallel.transport.SpmdConfig`.  ``None`` consults the
+    ``REPRO_SPMD_TRANSPORT`` environment variable.  ``nranks == 1``
+    always runs inline on the calling thread regardless of transport
+    (useful under profilers; also what the cost model assumes).
     """
+    from .transport import resolve_transport, run_process_spmd
+
+    cfg = resolve_transport(transport)
+    if nranks > 1 and cfg.transport == "process":
+        return run_process_spmd(
+            cfg, nranks, fn, args, kwargs, timeout=timeout, return_world=return_world
+        )
+    if cfg.timeout is not None:
+        timeout = cfg.timeout
+
     world = World(nranks, timeout=timeout)
     results: list[Any] = [None] * nranks
     errors: list[tuple[int, BaseException]] = []
@@ -282,8 +366,7 @@ def run_spmd(
             # re-raised by spmd() as SpmdError after the world aborts
             with lock:
                 errors.append((rank, exc))
-            world.abort.set()
-            world.barrier_obj.abort()
+            world.fail(rank, exc)
 
     if nranks == 1:
         # Fast path: no threads, direct call (useful under profilers).

@@ -261,6 +261,15 @@ class HACCSimulation:
 
     # -- convenience -----------------------------------------------------------
 
-    def snapshot(self) -> Particles:
-        """Deep copy of the current particle state (a Level 1 product)."""
+    def snapshot(self, into: Particles | None = None) -> Particles:
+        """Deep copy of the current particle state (a Level 1 product).
+
+        With ``into`` (a buffer from a previous snapshot) the state is
+        copied into the existing arrays instead of allocating — the
+        double-buffer path the pipelined in-situ manager uses so step
+        *t*'s snapshot can be analysed while step *t+1* advances, at a
+        steady-state cost of two extra particle buffers total.
+        """
+        if into is not None and len(into) == len(self.particles):
+            return self.particles.copy_into(into)
         return self.particles.copy()

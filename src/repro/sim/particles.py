@@ -116,6 +116,25 @@ class Particles:
             extra={k: v.copy() for k, v in self.extra.items()},
         )
 
+    def copy_into(self, dst: "Particles") -> "Particles":
+        """Copy this state into ``dst``'s existing buffers (no allocation).
+
+        ``dst`` must hold the same particle count, field shapes, and
+        extra-field set (the double-buffer reuse path of the pipelined
+        in-situ manager).  Returns ``dst``.
+        """
+        if len(dst) != len(self) or set(dst.extra) != set(self.extra):
+            raise ValueError("destination buffers do not match this particle set")
+        np.copyto(dst.pos, self.pos)
+        np.copyto(dst.vel, self.vel)
+        np.copyto(dst.tag, self.tag)
+        np.copyto(dst.mask, self.mask)
+        for key, value in self.extra.items():
+            np.copyto(dst.extra[key], value)
+        dst.box = self.box
+        dst.particle_mass = self.particle_mass
+        return dst
+
     @staticmethod
     def concatenate(parts: list["Particles"]) -> "Particles":
         """Concatenate particle sets (metadata taken from the first)."""

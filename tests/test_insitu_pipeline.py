@@ -1,0 +1,147 @@
+"""Pipelined in-situ analysis: bit-identity, overlap, and backpressure."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.insitu import AsyncInSituManager, InSituAnalysisManager, PendingAnalysis
+from repro.insitu.algorithm import InSituAlgorithm
+from repro.insitu.algorithms import HaloCenterAlgorithm, HaloFinderAlgorithm
+from repro.obs.timeline import WorkflowTimeline
+from repro.sim.hacc import HACCSimulation, SimulationConfig
+
+
+CONFIG = SimulationConfig(np_per_dim=16, n_steps=4, seed=11)
+
+
+def _managers():
+    serial = InSituAnalysisManager()
+    piped = AsyncInSituManager()
+    for mgr in (serial, piped):
+        mgr.register(
+            HaloFinderAlgorithm(at_steps=[2, 4], min_count=20, n_ranks=2)
+        )
+        mgr.register(HaloCenterAlgorithm(at_steps=[2, 4], threshold=10_000))
+    return serial, piped
+
+
+def test_pipelined_history_bit_identical_to_serial():
+    serial, piped = _managers()
+    HACCSimulation(CONFIG, analysis_manager=serial).run()
+    with piped:
+        HACCSimulation(CONFIG, analysis_manager=piped).run()
+        piped.drain()
+
+    assert sorted(serial.history) == sorted(piped.history) == [2, 4]
+    for step in (2, 4):
+        a = serial.history[step].store["centers"]["catalog"].records
+        b = piped.history[step].store["centers"]["catalog"].records
+        assert np.array_equal(a, b)
+        assert (
+            serial.history[step].store["centers"]["offloaded_halo_tags"]
+            == piped.history[step].store["centers"]["offloaded_halo_tags"]
+        )
+
+
+def test_facade_proxies_wrapped_manager():
+    mgr = AsyncInSituManager()
+    alg = mgr.register(HaloCenterAlgorithm(at_steps=[1], threshold=5))
+    assert mgr.get(alg.name) is alg
+    assert len(mgr) == 1 and list(mgr) == [alg]
+    assert mgr.latest() is None
+
+
+def test_not_due_steps_return_bare_context_without_scheduling():
+    mgr = AsyncInSituManager()
+    mgr.register(HaloCenterAlgorithm(at_steps=[99], threshold=5))
+    sim = HACCSimulation(SimulationConfig(np_per_dim=8, n_steps=2), analysis_manager=mgr)
+    sim.run()
+    assert mgr._executor is None  # nothing was ever due: no worker thread
+    assert mgr.history == {}
+    mgr.close()
+
+
+class _SlowCountingAlgorithm(InSituAlgorithm):
+    """Records max concurrent snapshots ever held by the pipeline."""
+
+    name = "slow_count"
+    seen_steps: list = None
+
+    def should_execute(self, step, a):
+        return True
+
+    def execute(self, sim, context):
+        import time
+
+        time.sleep(0.02)
+        self.seen_steps.append(sim.step)
+
+
+def test_backpressure_bounds_in_flight_and_buffers():
+    mgr = AsyncInSituManager(max_in_flight=1)
+    alg = _SlowCountingAlgorithm()
+    alg.seen_steps = []
+    mgr.manager.register(alg)
+    sim = HACCSimulation(SimulationConfig(np_per_dim=8, n_steps=5), analysis_manager=mgr)
+    sim.run()
+    with mgr:
+        mgr.drain()
+    assert alg.seen_steps == [1, 2, 3, 4, 5]  # step order preserved
+    assert len(mgr._pending) == 0
+    assert len(mgr._buffers) <= 2  # max_in_flight + 1 buffers total
+
+
+def test_execute_returns_pending_handle():
+    mgr = AsyncInSituManager()
+    alg = _SlowCountingAlgorithm()
+    alg.seen_steps = []
+    mgr.manager.register(alg)
+    sim = HACCSimulation(SimulationConfig(np_per_dim=8, n_steps=1), analysis_manager=mgr)
+    record = sim.advance_step()
+    pending = None
+    with mgr:
+        handles = list(mgr._pending)
+        pending = handles[0][0] if handles else None
+        assert isinstance(pending, PendingAnalysis)
+        ctx = pending.result(timeout=30.0)
+        assert ctx.step == 1
+        mgr.drain()
+    assert record.step == 1
+
+
+class _ExplodingAlgorithm(InSituAlgorithm):
+    name = "exploder"
+
+    def should_execute(self, step, a):
+        return True
+
+    def execute(self, sim, context):
+        raise RuntimeError("analysis exploded")
+
+
+def test_drain_propagates_analysis_failure():
+    mgr = AsyncInSituManager()
+    mgr.manager.register(_ExplodingAlgorithm())
+    sim = HACCSimulation(SimulationConfig(np_per_dim=8, n_steps=1), analysis_manager=mgr)
+    sim.run()
+    with pytest.raises(RuntimeError, match="analysis exploded"):
+        mgr.drain()
+    mgr.close()
+
+
+def test_invalid_max_in_flight():
+    with pytest.raises(ValueError):
+        AsyncInSituManager(max_in_flight=0)
+
+
+def test_overlap_fraction_positive_and_lanes_split():
+    _, piped = _managers()
+    with obs.telemetry() as rec:
+        with piped:
+            HACCSimulation(CONFIG, analysis_manager=piped).run()
+            piped.drain()
+        timeline = WorkflowTimeline(spans=rec.tracer.snapshot())
+    assert timeline.overlap_fraction() > 0.0
+    assert timeline.solver_overlap_fraction() > 0.0  # runs *during* sim.force
+    lanes = timeline.lanes()
+    assert any(lane.startswith("insitu-pipeline") for lane in lanes)

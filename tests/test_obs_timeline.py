@@ -110,6 +110,28 @@ def test_overlap_fraction_from_span_intervals():
     assert wf.overlap_fraction() == pytest.approx(0.4)
 
 
+def test_solver_overlap_ignores_nested_serial_insitu():
+    spans = [
+        _span("workflow.sim", 0.0, 10.0),
+        _span("sim.force", 0.0, 2.0),
+        _span("sim.force", 4.0, 6.0),
+        # serial in-situ: runs between force kernels, nested in workflow.sim
+        _span("insitu.execute", 2.0, 4.0),
+        # pipelined in-situ: runs *during* the second force kernel
+        _span("insitu.execute", 4.5, 5.5, thread="insitu-pipeline_0"),
+    ]
+    wf = WorkflowTimeline(spans=spans, metrics={})
+    # coarse metric counts both; solver metric only the overlapping one
+    assert wf.overlap_fraction() == pytest.approx(0.3)
+    assert wf.solver_overlap_fraction() == pytest.approx(1.0 / 4.0)
+    assert wf.summary()["solver_overlap_fraction"] == pytest.approx(0.25)
+
+
+def test_solver_overlap_zero_without_force_spans():
+    wf = WorkflowTimeline(spans=[_span("insitu.x", 0.0, 1.0)], metrics={})
+    assert wf.solver_overlap_fraction() == 0.0
+
+
 def test_overlap_zero_without_sim():
     wf = WorkflowTimeline(spans=[_span("offline.x", 0.0, 1.0)], metrics={})
     assert wf.sim_seconds() == 0.0
