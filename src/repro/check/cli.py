@@ -11,12 +11,17 @@ Typical invocations::
     python -m repro.check src                     # lint the tree
     python -m repro.check src --format json       # machine-readable
     python -m repro.check --list-rules            # rule table
+    python -m repro.check --rules                 # rule table as JSON
+    python -m repro.check --changed               # only git-modified files
+    python -m repro.check --changed origin/main   # diff against a ref
     python -m repro.check src --select RPR001,RPR005
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -71,6 +76,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule table and exit",
     )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule table as JSON and exit",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="analyze only files changed vs REF (default HEAD) plus untracked .py files",
+    )
     return parser
 
 
@@ -102,6 +120,42 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _rules_json() -> str:
+    rules = [
+        {
+            "code": code,
+            "name": rule.name,
+            "summary": rule.summary,
+            "scopes": list(rule.default_scopes),
+        }
+        for code, rule in sorted(all_rules().items())
+    ]
+    return json.dumps({"version": 1, "rules": rules}, indent=2) + "\n"
+
+
+def _changed_paths(ref: str) -> list[str]:
+    """``.py`` files changed vs ``ref`` plus untracked ones.
+
+    Raises ``OSError`` when git is unavailable or the ref does not
+    resolve, so the caller can exit 2 with the git message.
+    """
+    def _git(*argv: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            raise OSError(proc.stderr.strip() or f"git {' '.join(argv)} failed")
+        return [line for line in proc.stdout.splitlines() if line.strip()]
+
+    names = _git("diff", "--name-only", ref)
+    names += _git("ls-files", "--others", "--exclude-standard")
+    seen: dict[str, None] = {}
+    for name in names:
+        if name.endswith(".py") and Path(name).is_file():
+            seen.setdefault(name, None)
+    return list(seen)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -109,6 +163,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
+    if args.rules:
+        sys.stdout.write(_rules_json())
+        return 0
+    if args.changed is not None:
+        try:
+            changed = _changed_paths(args.changed)
+        except OSError as exc:
+            print(f"error: --changed: {exc}", file=sys.stderr)
+            return 2
+        if not changed:
+            print("no changed .py files")
+            return 0
+        args.paths = [*args.paths, *changed]
     if not args.paths:
         parser.print_usage(sys.stderr)
         print("error: no paths given (and --list-rules not requested)", file=sys.stderr)

@@ -1,0 +1,828 @@
+"""Flow-sensitive concurrency rules for the SPMD/pipeline layer (RPR011-RPR015).
+
+PR 7 made the workflow genuinely concurrent: forked ranks exchanging
+collectives, shared-memory segments whose ownership crosses a process
+boundary, a persistent worker pool, and a pipeline thread.  The bug
+classes that come with that — mismatched collectives that deadlock,
+use-after-transfer on a shared segment, blocking under a lock — are
+*path* properties, invisible to the syntactic rules.  This pack runs the
+CFG + dataflow framework (:mod:`repro.check.flow`) and the module-local
+call-graph summaries (:mod:`repro.check.callgraph`) over every function:
+
+``RPR011`` collective-matching
+    A collective reachable under a rank-dependent branch on only some
+    paths: ranks taking different arms never rendezvous — static
+    deadlock.  Per rank-tainted branch head, the sets of ordered
+    collective sequences along each arm's (acyclic) paths to the exit
+    must be equal.
+
+``RPR012`` shared-memory ownership lifecycle
+    ``SharedParticleStore.create`` / ``attach(..., adopt=True)`` makes
+    the variable an *owner*; ownership flows create → transfer → close.
+    Flags use-after-transfer, double release, and paths that reach the
+    function exit still owning the segment (leak — including the
+    exception paths through ``try`` blocks).  Supersedes the syntactic
+    RPR005 where flow info exists: a tracked variable proven released on
+    every path satisfies RPR005 without a ``with``/``try``.
+
+``RPR013`` blocking call while holding a lock
+    ``Queue.get`` / ``join`` / ``recv`` / ``barrier`` inside a ``with
+    <lock>:`` region (or between tracked ``acquire``/``release``) can
+    deadlock against the peer that needs the lock to make progress.
+    Condition-variable waits on the held object are exempt (they release
+    the lock), as are bounded calls.
+
+``RPR014`` unbounded blocking receive in a loop
+    ``while`` loops draining a queue/channel with no timeout, no
+    ``break`` (sentinel protocol), and no abort-flag check spin forever
+    when the producer dies — the failure model (docs/failures.md)
+    requires every wait to be bounded or abortable.
+
+``RPR015`` fork-after-threads hazard
+    Forking (process transport, WorkerPool, ``multiprocessing``) after
+    background threads have started in the same function: the forked
+    child inherits a snapshot where another thread may hold a lock
+    forever (CPython's classic fork-safety hazard).
+
+All five under-approximate across modules (unknown callees contribute
+no effects), so findings are function-local facts, not guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .analyzer import ModuleContext, dotted_chain
+from .callgraph import (
+    ModuleCallGraph,
+    _is_mapping_get,
+    blocking_call_name,
+    call_is_bounded,
+    collective_of,
+    forks_process,
+    starts_threads,
+)
+from .findings import Finding
+from .flow import (
+    CFG,
+    Block,
+    ForwardAnalysis,
+    build_cfg,
+    enumerate_paths,
+    function_nodes,
+    run_forward,
+    stmt_exprs,
+)
+from .rules import Rule, register_rule
+
+__all__ = [
+    "CollectiveMatching",
+    "OwnershipLifecycle",
+    "BlockingUnderLock",
+    "UnboundedReceiveLoop",
+    "ForkAfterThreads",
+    "flow_proves_release",
+]
+
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+#: Cap on acyclic paths enumerated per branch arm; hitting it means the
+#: comparison would be a sample, so the branch is skipped (no finding).
+_PATH_LIMIT = 64
+
+
+# -- rank taint ---------------------------------------------------------------
+
+_RANK_NAME = re.compile(r"(^|_)rank(_id)?$")
+
+
+def _expr_rank_tainted(node: ast.AST, tainted: set[str]) -> bool:
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name) and n.id in tainted:
+            return True
+        if isinstance(n, ast.Attribute) and n.attr == "rank":
+            return True
+    return False
+
+
+def _rank_tainted_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names carrying the caller's own rank identity.
+
+    Seeded by rank-named parameters; grown through plain assignments
+    whose right side reads a tainted name or a ``.rank`` attribute.
+    ``for rank in range(size)`` loop targets are deliberately *not*
+    tainted — iterating over all ranks is rank-symmetric.
+    """
+    args = func.args
+    params = [
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]
+    tainted = {a.arg for a in params if _RANK_NAME.search(a.arg)}
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name) or target.id in tainted:
+                continue
+            if _expr_rank_tainted(node.value, tainted):
+                tainted.add(target.id)
+                changed = True
+    return tainted
+
+
+# -- RPR011: collective matching ----------------------------------------------
+
+
+@register_rule
+class CollectiveMatching(Rule):
+    """Every rank must execute the same ordered collective sequence; a
+    collective guarded by a rank-dependent branch on only some paths
+    means the ranks that skip it leave the others blocked forever —
+    the deadlock the runtime sanitizer (``REPRO_SANITIZE=1``) catches
+    dynamically and this rule catches at lint time."""
+
+    code = "RPR011"
+    name = "collective-matching"
+    summary = "collective reachable on only some paths of a rank-dependent branch"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        cg = ModuleCallGraph(ctx)
+        for func in function_nodes(ctx.tree):
+            yield from self._check_function(ctx, cg, func)
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        cg: ModuleCallGraph,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        # cheap prefilter: no collectives anywhere -> nothing to mismatch
+        if not any(
+            isinstance(n, ast.Call) and cg.call_collectives(n, n)
+            for n in ast.walk(func)
+        ):
+            return
+        tainted = _rank_tainted_names(func)
+        cfg = build_cfg(func, exception_edges=False)
+        reach = cfg.reachable()
+        for block in cfg.blocks:
+            stmt = block.stmt
+            if block.index not in reach:
+                continue
+            if isinstance(stmt, (ast.If, ast.While)):
+                guard: ast.AST = stmt.test
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                guard = stmt.iter
+            else:
+                continue
+            if not _expr_rank_tainted(guard, tainted):
+                continue
+            arms = list(dict.fromkeys(block.succs))
+            if len(arms) < 2:
+                continue
+            arm_seqs: list[frozenset[tuple[str, ...]]] = []
+            truncated = False
+            for arm in arms:
+                paths = enumerate_paths(cfg, arm, limit=_PATH_LIMIT + 1)
+                if not paths or len(paths) > _PATH_LIMIT:
+                    truncated = True
+                    break
+                arm_seqs.append(
+                    frozenset(self._path_ops(cfg, path, cg) for path in paths)
+                )
+            if truncated:
+                continue
+            if all(s == arm_seqs[0] for s in arm_seqs[1:]):
+                continue
+            example = self._example_divergence(arm_seqs)
+            yield self.finding(
+                ctx,
+                stmt,
+                "collective sequence differs across the arms of a rank-dependent "
+                f"branch ({example}); ranks taking different arms never "
+                "rendezvous — static deadlock (make every rank execute the same "
+                "collectives, hoisting them out of the branch)",
+            )
+
+    @staticmethod
+    def _path_ops(cfg: CFG, path: tuple[int, ...], cg: ModuleCallGraph) -> tuple[str, ...]:
+        ops: list[str] = []
+        for idx in path:
+            for n in stmt_exprs(cfg.blocks[idx].stmt):
+                if isinstance(n, ast.Call):
+                    ops.extend(cg.call_collectives(n, n))
+        return tuple(ops)
+
+    @staticmethod
+    def _example_divergence(arm_seqs: list[frozenset[tuple[str, ...]]]) -> str:
+        def show(seqs: frozenset[tuple[str, ...]]) -> str:
+            sample = sorted(seqs)[0]
+            return "+".join(sample) if sample else "no collective"
+
+        for i, a in enumerate(arm_seqs):
+            for b in arm_seqs[i + 1 :]:
+                if a != b:
+                    only_a = a - b
+                    only_b = b - a
+                    left = show(only_a) if only_a else show(a)
+                    right = show(only_b) if only_b else show(b)
+                    return f"one arm: {left}; another: {right}"
+        return "sequences differ"
+
+
+# -- RPR012: shared-memory ownership lifecycle --------------------------------
+
+_OWNED = "OWNED"
+_LIFECYCLE_OPS = {"release": "RELEASED", "unlink": "UNLINKED", "close": "CLOSED"}
+
+#: states in which a further plain use of the store is a bug
+_DEAD_STATES = frozenset({"RELEASED", "UNLINKED", "CLOSED"})
+
+#: ``op -> states that make a second call to op (or its family) a double free``
+_DOUBLE = {
+    "release": frozenset({"RELEASED", "UNLINKED"}),
+    "unlink": frozenset({"UNLINKED"}),
+    "close": frozenset({"CLOSED", "UNLINKED"}),
+}
+
+_CREATE_TAILS: tuple[tuple[str, ...], ...] = (("SharedParticleStore", "create"),)
+_ATTACH_TAILS: tuple[tuple[str, ...], ...] = (("SharedParticleStore", "attach"),)
+
+#: ownership fact: sorted (var, possible-states) pairs; ``None`` = unreachable
+_OwnFact = tuple[tuple[str, frozenset[str]], ...]
+
+
+def _is_owning_creation(call: ast.Call) -> bool:
+    chain = dotted_chain(call.func)
+    if not chain:
+        return False
+    if any(chain[-len(t) :] == t for t in _CREATE_TAILS if len(chain) >= len(t)):
+        return True
+    if any(chain[-len(t) :] == t for t in _ATTACH_TAILS if len(chain) >= len(t)):
+        for kw in call.keywords:
+            if (
+                kw.arg == "adopt"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+def _creation_var(stmt: ast.AST | None) -> tuple[str, ast.Call] | None:
+    """``v = SharedParticleStore.create(...)`` -> ``("v", call)``."""
+    if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+        return None
+    target = stmt.targets[0]
+    if not isinstance(target, ast.Name):
+        return None
+    if isinstance(stmt.value, ast.Call) and _is_owning_creation(stmt.value):
+        return target.id, stmt.value
+    return None
+
+
+def _lifecycle_call(node: ast.AST) -> tuple[str, str] | None:
+    """``v.release()`` -> ``("v", "release")`` for tracked lifecycle ops."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.attr in _LIFECYCLE_OPS
+        and not node.args
+        and not node.keywords
+    ):
+        return node.func.value.id, node.func.attr
+    return None
+
+
+#: Name-load parents that transfer ownership out of the function's view.
+_ESCAPE_PARENTS = (
+    ast.Return,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Tuple,
+    ast.List,
+    ast.Dict,
+    ast.Starred,
+    ast.Await,
+)
+
+
+class _OwnershipAnalysis(ForwardAnalysis[_OwnFact | None]):
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+
+    def initial(self) -> _OwnFact:
+        return ()
+
+    def bottom(self) -> None:
+        return None
+
+    def join(self, a: _OwnFact | None, b: _OwnFact | None) -> _OwnFact | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        merged = dict(a)
+        for var, states in b:
+            merged[var] = merged.get(var, frozenset()) | states
+        return tuple(sorted(merged.items()))
+
+    def transfer(self, block: Block, fact: _OwnFact | None) -> _OwnFact | None:
+        if fact is None:
+            return None
+        return tuple(sorted(_ownership_step(self.ctx, block.stmt, dict(fact)).items()))
+
+
+def _ownership_step(
+    ctx: ModuleContext,
+    stmt: ast.AST | None,
+    states: dict[str, frozenset[str]],
+    emit: "list[tuple[ast.AST, str]] | None" = None,
+) -> dict[str, frozenset[str]]:
+    """Apply one statement to the ownership map (optionally reporting)."""
+    if stmt is None:
+        return states
+    lifecycle_receivers: set[int] = set()
+    consumed: list[tuple[str, str, ast.AST]] = []
+    for n in stmt_exprs(stmt):
+        lc = _lifecycle_call(n)
+        if lc is not None and lc[0] in states:
+            assert isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute)
+            lifecycle_receivers.add(id(n.func.value))
+            consumed.append((lc[0], lc[1], n))
+    # 1) plain uses + escapes, judged against the *incoming* states
+    for n in stmt_exprs(stmt):
+        if not (isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)):
+            continue
+        var = n.id
+        if var not in states or id(n) in lifecycle_receivers:
+            continue
+        parent = ctx.parent(n)
+        if isinstance(parent, ast.Compare) and any(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in parent.ops
+        ):
+            continue  # `v is None` guards are not uses
+        if emit is not None and _OWNED not in states[var] and states[var]:
+            emit.append(
+                (
+                    n,
+                    f"shared store '{var}' used after its ownership was "
+                    "released/transferred on every path reaching this line "
+                    "(use-after-transfer)",
+                )
+            )
+        if isinstance(parent, _ESCAPE_PARENTS) or (
+            isinstance(parent, ast.Call) and id(n) not in lifecycle_receivers
+        ) or (
+            isinstance(parent, ast.Assign) and n is parent.value
+        ) or isinstance(parent, ast.keyword):
+            states.pop(var, None)  # ownership escapes — stop tracking
+    # 2) lifecycle transitions (double-free judged against incoming states)
+    for var, op, node in consumed:
+        if var not in states:
+            continue
+        cur = states[var]
+        if emit is not None and cur and _OWNED not in cur and cur & _DOUBLE[op]:
+            emit.append(
+                (
+                    node,
+                    f"'{var}.{op}()' on a segment already "
+                    f"{'/'.join(sorted(s.lower() for s in cur))} on every path "
+                    "(double release)",
+                )
+            )
+        states[var] = frozenset({_LIFECYCLE_OPS[op]})
+    # 3) (re)bindings
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            created = _creation_var(stmt)
+            if created is not None:
+                states[target.id] = frozenset({_OWNED})
+            else:
+                states.pop(target.id, None)  # rebound to something else
+    elif isinstance(stmt, ast.Delete):
+        for t in stmt.targets:
+            if isinstance(t, ast.Name):
+                states.pop(t.id, None)
+    return states
+
+
+@register_rule
+class OwnershipLifecycle(Rule):
+    """Segment ownership is a protocol — create → (use) → transfer/close
+    — and every violation class maps to a real failure: use-after-
+    transfer reads unmapped memory in the peer's hands, double release
+    raises at runtime, and an exception path that skips the release
+    leaks ``/dev/shm`` for the rest of the campaign."""
+
+    code = "RPR012"
+    name = "shm-ownership-flow"
+    summary = "shared-memory ownership violation (use-after-transfer / double release / leak)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in function_nodes(ctx.tree):
+            yield from self._check_function(ctx, func)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        create_sites: dict[str, ast.AST] = {}
+        for node in ast.walk(func):
+            created = _creation_var(node) if isinstance(node, ast.stmt) else None
+            if created is not None and created[0] not in create_sites:
+                create_sites[created[0]] = created[1]
+        if not create_sites:
+            return
+        cfg = build_cfg(func, exception_edges=True)
+        analysis = _OwnershipAnalysis(ctx)
+        in_facts = run_forward(cfg, analysis)
+        reported: set[tuple[int, str]] = set()
+        for idx in sorted(cfg.reachable()):
+            fact = in_facts.get(idx)
+            if fact is None:
+                continue
+            messages: list[tuple[ast.AST, str]] = []
+            _ownership_step(ctx, cfg.blocks[idx].stmt, dict(fact), emit=messages)
+            for node, message in messages:
+                key = (getattr(node, "lineno", 0), message)
+                if key not in reported:
+                    reported.add(key)
+                    yield self.finding(ctx, node, message)
+        exit_fact = in_facts.get(cfg.exit)
+        if exit_fact:
+            for var, possible in exit_fact:
+                if _OWNED in possible and var in create_sites:
+                    yield self.finding(
+                        ctx,
+                        create_sites[var],
+                        f"shared store '{var}' can reach the function exit still "
+                        "owned (leaked segment on at least one path — add a "
+                        "try/finally or with block releasing it)",
+                    )
+
+
+def flow_proves_release(ctx: ModuleContext, call: ast.Call) -> bool:
+    """True when ownership dataflow proves the store created by ``call``
+    is released/escaped on every path to the exit.
+
+    This is how RPR012 supersedes the syntactic RPR005: linear code that
+    provably releases on all paths (including exception paths through
+    ``try``) needs no ``with``/``try-finally`` to satisfy RPR005.
+    """
+    if not _is_owning_creation(call):
+        return False
+    parent = ctx.parent(call)
+    if not (
+        isinstance(parent, ast.Assign)
+        and len(parent.targets) == 1
+        and isinstance(parent.targets[0], ast.Name)
+    ):
+        return False
+    var = parent.targets[0].id
+    scope = ctx.enclosing_scope(call)
+    if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    cfg = build_cfg(scope, exception_edges=True)
+    in_facts = run_forward(cfg, _OwnershipAnalysis(ctx))
+    exit_fact = in_facts.get(cfg.exit)
+    if exit_fact is None:
+        return False
+    for name, possible in exit_fact:
+        if name == var and _OWNED in possible:
+            return False
+    return True
+
+
+# -- RPR013: blocking call while holding a lock --------------------------------
+
+_LOCKISH = ("lock", "mutex")
+
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+
+def _lock_token(expr: ast.expr, ctx: ModuleContext) -> str | None:
+    """Identify a with-item / acquire receiver as a lock; return its token."""
+    if isinstance(expr, ast.Call):
+        chain = dotted_chain(expr.func)
+        if chain and chain[-1] == "get_lock":
+            return ".".join(chain) + "()"
+        if ctx.resolve_call(expr) in _LOCK_FACTORIES:
+            return ctx.resolve_call(expr) + "()"
+        return None
+    chain = dotted_chain(expr)
+    if chain and any(k in chain[-1].lower() for k in _LOCKISH):
+        return ".".join(chain)
+    return None
+
+
+def _own_nodes(root: ast.AST, include_root: bool = False) -> Iterator[ast.AST]:
+    """Walk without descending into nested function/class definitions."""
+    stack: list[ast.AST] = [root] if include_root else list(ast.iter_child_nodes(root))
+    while stack:
+        n = stack.pop(0)
+        yield n
+        if isinstance(n, _DEFS):
+            continue
+        stack.extend(ast.iter_child_nodes(n))
+
+
+class _HeldLocks(ForwardAnalysis["frozenset[str] | None"]):
+    """Must-hold lock set between explicit ``acquire``/``release`` calls."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+
+    def initial(self) -> frozenset[str]:
+        return frozenset()
+
+    def bottom(self) -> None:
+        return None
+
+    def join(self, a: "frozenset[str] | None", b: "frozenset[str] | None") -> "frozenset[str] | None":
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b  # must-hold
+
+    def transfer(self, block: Block, fact: "frozenset[str] | None") -> "frozenset[str] | None":
+        if fact is None:
+            return None
+        return _locks_step(self.ctx, block.stmt, fact)
+
+
+def _locks_step(
+    ctx: ModuleContext, stmt: ast.AST | None, held: frozenset[str]
+) -> frozenset[str]:
+    for n in stmt_exprs(stmt):
+        if not (isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute)):
+            continue
+        token = _lock_token(n.func.value, ctx)
+        if token is None:
+            continue
+        if n.func.attr == "acquire" and not call_is_bounded(n):
+            held = held | {token}
+        elif n.func.attr == "release":
+            held = held - {token}
+    return held
+
+
+@register_rule
+class BlockingUnderLock(Rule):
+    """A rendezvous (queue get, join, recv, barrier) entered while a
+    lock is held deadlocks the moment the peer needs that lock to
+    produce the awaited item.  Condition-variable waits on the held
+    object are the one sanctioned pattern (they atomically release)."""
+
+    code = "RPR013"
+    name = "blocking-under-lock"
+    summary = "blocking call (get/join/recv/barrier) while holding a lock"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in function_nodes(ctx.tree):
+            yield from self._with_regions(ctx, func)
+            yield from self._tracked_acquires(ctx, func)
+
+    def _with_regions(
+        self, ctx: ModuleContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in _own_nodes(func):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            tokens = [
+                t
+                for item in node.items
+                if (t := _lock_token(item.context_expr, ctx)) is not None
+            ]
+            if not tokens:
+                continue
+            for stmt in node.body:
+                for n in _own_nodes(stmt, include_root=True):
+                    if not isinstance(n, ast.Call):
+                        continue
+                    yield from self._judge_call(ctx, n, tokens)
+
+    def _tracked_acquires(
+        self, ctx: ModuleContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        if not any(
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and n.func.attr == "acquire"
+            for n in ast.walk(func)
+        ):
+            return
+        cfg = build_cfg(func, exception_edges=True)
+        in_facts = run_forward(cfg, _HeldLocks(ctx))
+        for idx in sorted(cfg.reachable()):
+            fact = in_facts.get(idx)
+            if not fact:
+                continue
+            held = fact
+            for n in stmt_exprs(cfg.blocks[idx].stmt):
+                if not isinstance(n, ast.Call):
+                    continue
+                if (
+                    isinstance(n.func, ast.Attribute)
+                    and n.func.attr in ("acquire", "release")
+                    and _lock_token(n.func.value, ctx) is not None
+                ):
+                    held = _locks_step(ctx, ast.Expr(value=n), held)
+                    continue
+                yield from self._judge_call(ctx, n, sorted(held))
+
+    def _judge_call(
+        self, ctx: ModuleContext, call: ast.Call, tokens: list[str]
+    ) -> Iterator[Finding]:
+        if not tokens:
+            return
+        name = blocking_call_name(call)
+        if name is None:
+            return
+        chain = dotted_chain(call.func)
+        receiver = ".".join(chain[:-1])
+        if receiver and any(t == receiver or t.startswith(receiver + ".") for t in tokens):
+            return  # condition wait / recursive acquire on the held object
+        if chain and chain[-1] == "acquire":
+            return  # nested-acquire ordering is out of scope here
+        yield self.finding(
+            ctx,
+            call,
+            f"blocking {name}() while holding lock {tokens[0]}; the peer that "
+            "would unblock it may need the lock — move the wait outside the "
+            "critical section or bound it with a timeout",
+        )
+
+
+# -- RPR014: unbounded receive loop -------------------------------------------
+
+_ABORTISH = frozenset(
+    {
+        "abort",
+        "aborted",
+        "stop",
+        "stopped",
+        "stopping",
+        "shutdown",
+        "closed",
+        "done",
+        "is_set",
+        "deadline",
+        "timeout",
+        "waited",
+        "remaining",
+    }
+)
+
+_RECEIVE_NAMES = frozenset({"get", "recv"})
+
+
+@register_rule
+class UnboundedReceiveLoop(Rule):
+    """A drain loop whose receive can block forever and whose body has
+    no sentinel ``break``, no abort-flag check, and no deadline turns a
+    dead producer into a hung consumer — the co-scheduling runtime's
+    failure model requires every wait to be bounded or abortable."""
+
+    code = "RPR014"
+    name = "unbounded-receive-loop"
+    summary = "unbounded blocking receive in a loop without timeout/abort check"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, ast.While):
+                continue
+            own = list(_own_nodes(loop))
+            receives = [
+                n
+                for n in own
+                if isinstance(n, ast.Call)
+                and (chain := dotted_chain(n.func))
+                and chain[-1] in _RECEIVE_NAMES
+                and not (chain[-1] == "get" and _is_mapping_get(n))
+                and not call_is_bounded(n)
+            ]
+            if not receives:
+                continue
+            if any(isinstance(n, (ast.Break, ast.Raise, ast.Return)) for n in own):
+                continue  # sentinel protocol / explicit escape hatch
+            referenced = {
+                n.id.lower() for n in ast.walk(loop) if isinstance(n, ast.Name)
+            } | {n.attr.lower() for n in ast.walk(loop) if isinstance(n, ast.Attribute)}
+            if referenced & _ABORTISH:
+                continue
+            yield self.finding(
+                ctx,
+                receives[0],
+                "unbounded blocking receive inside a loop with no break, abort "
+                "check, or deadline; a dead producer hangs this consumer forever "
+                "— use get(timeout=...) and re-check an abort flag each lap",
+            )
+
+
+# -- RPR015: fork after threads -----------------------------------------------
+
+
+class _ThreadsStarted(ForwardAnalysis["bool | None"]):
+    """May-analysis: have background threads been started on some path?"""
+
+    def __init__(self, ctx: ModuleContext, cg: ModuleCallGraph) -> None:
+        self.ctx = ctx
+        self.cg = cg
+
+    def initial(self) -> bool:
+        return False
+
+    def bottom(self) -> None:
+        return None
+
+    def join(self, a: "bool | None", b: "bool | None") -> "bool | None":
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a or b
+
+    def transfer(self, block: Block, fact: "bool | None") -> "bool | None":
+        if fact is None:
+            return None
+        started = fact
+        for n in stmt_exprs(block.stmt):
+            if isinstance(n, ast.Call) and _starts_threads_deep(self.ctx, self.cg, n):
+                started = True
+        return started
+
+
+def _starts_threads_deep(ctx: ModuleContext, cg: ModuleCallGraph, call: ast.Call) -> bool:
+    if starts_threads(call, ctx):
+        return True
+    callee = cg.resolve_local(call, call)
+    return callee is not None and cg.transitively(callee, "thread_start")
+
+
+def _forks_deep(ctx: ModuleContext, cg: ModuleCallGraph, call: ast.Call) -> bool:
+    if forks_process(call, ctx):
+        return True
+    callee = cg.resolve_local(call, call)
+    return callee is not None and cg.transitively(callee, "fork")
+
+
+@register_rule
+class ForkAfterThreads(Rule):
+    """``fork`` copies one thread but every lock: a child forked after
+    the pipeline/listener threads are live can inherit a mutex locked by
+    a thread that no longer exists and hang on first contention.  Start
+    worker processes *before* background threads, or use a spawn
+    context."""
+
+    code = "RPR015"
+    name = "fork-after-threads"
+    summary = "process fork/spawn after background threads started"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        cg = ModuleCallGraph(ctx)
+        for func in function_nodes(ctx.tree):
+            calls = [n for n in _own_nodes(func) if isinstance(n, ast.Call)]
+            if not any(_starts_threads_deep(ctx, cg, n) for n in calls):
+                continue
+            if not any(_forks_deep(ctx, cg, n) for n in calls):
+                continue
+            cfg = build_cfg(func, exception_edges=True)
+            in_facts = run_forward(cfg, _ThreadsStarted(ctx, cg))
+            for idx in sorted(cfg.reachable()):
+                fact = in_facts.get(idx)
+                if fact is None:
+                    continue
+                started = fact
+                for n in stmt_exprs(cfg.blocks[idx].stmt):
+                    if not isinstance(n, ast.Call):
+                        continue
+                    if started and _forks_deep(ctx, cg, n):
+                        yield self.finding(
+                            ctx,
+                            n,
+                            "process fork/spawn after background threads were "
+                            "started in this function; the forked child inherits "
+                            "locks a missing thread may hold (fork-safety hazard) "
+                            "— fork first, or use a spawn start method",
+                        )
+                    if _starts_threads_deep(ctx, cg, n):
+                        started = True

@@ -1,0 +1,413 @@
+"""Per-function control-flow graphs and a forward dataflow framework.
+
+This is the flow-sensitive half of :mod:`repro.check`: the syntactic
+rules (RPR001-RPR010) judge one AST node at a time, but the concurrency
+bug classes introduced by the SPMD transports — mismatched collectives,
+shared-memory ownership violations, blocking under a lock — are *path*
+properties.  :func:`build_cfg` lowers a function body to a statement-
+granularity CFG; :func:`run_forward` runs any :class:`ForwardAnalysis`
+over it to a fixpoint; :func:`enumerate_paths` enumerates acyclic paths
+for the collective-matching rule.
+
+Design notes (deliberate over/under-approximations):
+
+* One :class:`Block` per statement.  Compound statements (``if``,
+  ``while``, ``try`` …) get a *head* block holding the statement; their
+  nested bodies become separate blocks.  :func:`stmt_exprs` yields only
+  the expressions evaluated *at* a head (the test of an ``if``, the
+  iterable of a ``for``), so analyses never see a nested body twice.
+* Loops keep an edge from the head to the loop exit even for
+  ``while True`` (a conservative over-approximation; path enumeration
+  skips back edges, so every loop body is traversed at most once).
+* Exception edges are added only *inside* ``try`` statements: every
+  block built under a ``try`` gets an edge to that try's landing pad,
+  which feeds the handlers and/or the ``finally`` body.  Statements
+  outside any ``try`` get no implicit raise edge — the syntactic RPR005
+  already polices the no-try-at-all case, and implicit raise edges
+  everywhere would drown the ownership analysis in phantom paths.
+* ``return``/``break``/``continue`` route through the innermost
+  ``finally`` body when one is active, matching CPython semantics
+  closely enough for resource-lifecycle analysis (a ``finally`` that
+  releases a segment is seen on the return path).
+* Nested ``def``/``class``/``lambda`` are opaque single statements; the
+  call-graph pass (:mod:`repro.check.callgraph`) summarises them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterator, Sequence, TypeVar
+
+__all__ = [
+    "Block",
+    "CFG",
+    "ForwardAnalysis",
+    "build_cfg",
+    "dominators",
+    "enumerate_paths",
+    "function_nodes",
+    "run_forward",
+    "stmt_exprs",
+]
+
+T = TypeVar("T")
+
+#: Statement types treated as opaque leaves (their bodies are separate scopes).
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass
+class Block:
+    """One CFG node: a single statement (or a synthetic empty block)."""
+
+    index: int
+    stmt: ast.AST | None = None  # None for synthetic entry/exit/landing blocks
+    label: str = ""
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        what = self.label or (type(self.stmt).__name__ if self.stmt else "?")
+        return f"Block({self.index}, {what}, succs={self.succs})"
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function (or module) body."""
+
+    blocks: list[Block]
+    entry: int
+    exit: int
+    #: statement -> index of the block holding it (head block for compounds)
+    block_of: dict[ast.AST, int] = field(default_factory=dict)
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def reachable(self) -> set[int]:
+        """Block indices reachable from the entry."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for s in self.blocks[stack.pop()].succs:
+                if s not in seen:
+                    seen.add(s)
+                    stack.append(s)
+        return seen
+
+
+@dataclass
+class _TryFrame:
+    """Per-``try`` routing targets active while its body is being built."""
+
+    landing: int | None = None  # exception landing pad
+    fin_landing: int | None = None  # finally entry collector (returns route here)
+
+
+class _Builder:
+    def __init__(self, exception_edges: bool = True) -> None:
+        self.cfg = CFG(blocks=[], entry=0, exit=0)
+        self.exception_edges = exception_edges
+        # (head index, list of break-source blocks) per active loop
+        self.loops: list[tuple[int, list[int]]] = []
+        self.frames: list[_TryFrame] = []
+
+    # -- low-level helpers ----------------------------------------------
+
+    def new_block(self, stmt: ast.AST | None = None, label: str = "") -> int:
+        idx = len(self.cfg.blocks)
+        self.cfg.blocks.append(Block(index=idx, stmt=stmt, label=label))
+        if stmt is not None:
+            self.cfg.block_of[stmt] = idx
+        return idx
+
+    def connect(self, frontier: Sequence[int], dst: int) -> None:
+        for src in frontier:
+            self.cfg.add_edge(src, dst)
+
+    def _innermost(self, attr: str) -> int | None:
+        for frame in reversed(self.frames):
+            target: int | None = getattr(frame, attr)
+            if target is not None:
+                return target
+        return None
+
+    def _exit_target(self) -> int:
+        """Where ``return`` goes: innermost finally, else the function exit."""
+        fin = self._innermost("fin_landing")
+        return fin if fin is not None else self.cfg.exit
+
+    def _raise_target(self) -> int:
+        """Where an explicit ``raise`` goes."""
+        landing = self._innermost("landing")
+        if landing is not None:
+            return landing
+        return self._exit_target()
+
+    # -- recursive construction -----------------------------------------
+
+    def build_seq(self, stmts: Sequence[ast.stmt], frontier: list[int]) -> list[int]:
+        """Append blocks for ``stmts``; return the new fallthrough frontier."""
+        for stmt in stmts:
+            frontier = self.build_stmt(stmt, frontier)
+        return frontier
+
+    def build_stmt(self, stmt: ast.stmt, frontier: list[int]) -> list[int]:
+        head = self.new_block(stmt)
+        self.connect(frontier, head)
+        if self.exception_edges and self.frames:
+            landing = self._innermost("landing")
+            if landing is not None:
+                self.cfg.add_edge(head, landing)
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            target = self._exit_target() if isinstance(stmt, ast.Return) else self._raise_target()
+            self.cfg.add_edge(head, target)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.loops[-1][1].append(head)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.cfg.add_edge(head, self.loops[-1][0])
+            return []
+        if isinstance(stmt, ast.If):
+            then_f = self.build_seq(stmt.body, [head])
+            else_f = self.build_seq(stmt.orelse, [head]) if stmt.orelse else [head]
+            return then_f + else_f
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self.loops.append((head, []))
+            body_f = self.build_seq(stmt.body, [head])
+            self.connect(body_f, head)  # back edge
+            _, breaks = self.loops.pop()
+            out = self.build_seq(stmt.orelse, [head]) if stmt.orelse else [head]
+            return out + breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.build_seq(stmt.body, [head])
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, head)
+        if isinstance(stmt, ast.Match):
+            out: list[int] = [head]  # no-case-matched fallthrough
+            for case in stmt.cases:
+                out += self.build_seq(case.body, [head])
+            return out
+        # simple statements, opaque defs, assert, expressions …
+        return [head]
+
+    def _build_try(self, stmt: ast.Try, head: int) -> list[int]:
+        frame = _TryFrame()
+        if stmt.handlers or stmt.finalbody:
+            frame.landing = self.new_block(label="landing")
+        if stmt.finalbody:
+            frame.fin_landing = self.new_block(label="fin-landing")
+
+        self.frames.append(frame)
+        body_f = self.build_seq(stmt.body, [head])
+        if stmt.orelse:
+            body_f = self.build_seq(stmt.orelse, body_f)
+        self.frames.pop()
+
+        handler_f: list[int] = []
+        for handler in stmt.handlers:
+            h_head = self.new_block(handler)
+            assert frame.landing is not None
+            self.cfg.add_edge(frame.landing, h_head)
+            # a raise inside a handler propagates outward, and with a
+            # finally present the handler body routes through it too
+            self.frames.append(_TryFrame(fin_landing=frame.fin_landing))
+            handler_f += self.build_seq(handler.body, [h_head])
+            self.frames.pop()
+
+        if stmt.finalbody:
+            assert frame.fin_landing is not None
+            entries = body_f + handler_f + [frame.fin_landing]
+            if frame.landing is not None and not stmt.handlers:
+                entries.append(frame.landing)  # uncaught exception path
+            fin_f = self.build_seq(stmt.finalbody, entries)
+            # the finally body also completes on the exceptional / early-
+            # return paths, which leave the statement entirely
+            outer = self._raise_target() if self.frames else self.cfg.exit
+            self.connect(fin_f, outer)
+            return fin_f
+        if frame.landing is not None and not stmt.handlers:
+            self.cfg.add_edge(frame.landing, self._raise_target())
+        return body_f + handler_f
+
+
+def build_cfg(
+    func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+    exception_edges: bool = True,
+) -> CFG:
+    """Build the CFG of ``func``'s body (nested defs stay opaque)."""
+    builder = _Builder(exception_edges=exception_edges)
+    entry = builder.new_block(label="entry")
+    builder.cfg.entry = entry
+    exit_idx = builder.new_block(label="exit")
+    builder.cfg.exit = exit_idx
+    frontier = builder.build_seq(func.body, [entry])
+    builder.connect(frontier, exit_idx)
+    # a function whose every path returns/raises still needs exit wired
+    cfg = builder.cfg
+    if not cfg.blocks[exit_idx].preds:
+        cfg.add_edge(entry, exit_idx)
+    return cfg
+
+
+def function_nodes(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in ``tree`` (methods included)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def stmt_exprs(stmt: ast.AST | None) -> Iterator[ast.AST]:
+    """AST nodes evaluated *at* this block, excluding nested statement bodies.
+
+    For a compound statement only the head expressions are yielded (an
+    ``if``'s test, a ``for``'s target/iterable, a ``with``'s context
+    expressions); nested bodies live in their own blocks.  Opaque
+    definitions yield nothing.
+    """
+    if stmt is None or isinstance(stmt, _OPAQUE):
+        return
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield from ast.walk(stmt.test)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from ast.walk(stmt.target)
+        yield from ast.walk(stmt.iter)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield from ast.walk(item.context_expr)
+            if item.optional_vars is not None:
+                yield from ast.walk(item.optional_vars)
+    elif isinstance(stmt, ast.Try):
+        return
+    elif isinstance(stmt, ast.Match):
+        yield from ast.walk(stmt.subject)
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.type is not None:
+            yield from ast.walk(stmt.type)
+    else:
+        yield from ast.walk(stmt)
+
+
+# -- dominators ---------------------------------------------------------------
+
+
+def dominators(cfg: CFG) -> dict[int, set[int]]:
+    """Dominator sets (classic iterative algorithm) over reachable blocks.
+
+    ``result[b]`` is the set of blocks that dominate ``b``; the entry
+    dominates everything and every block dominates itself.
+    """
+    reach = cfg.reachable()
+    doms: dict[int, set[int]] = {b: set(reach) for b in reach}
+    doms[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for b in sorted(reach):
+            if b == cfg.entry:
+                continue
+            preds = [p for p in cfg.blocks[b].preds if p in reach]
+            if not preds:
+                new = {b}
+            else:
+                new = set.intersection(*(doms[p] for p in preds)) | {b}
+            if new != doms[b]:
+                doms[b] = new
+                changed = True
+    return doms
+
+
+# -- forward dataflow ---------------------------------------------------------
+
+
+class ForwardAnalysis(Generic[T]):
+    """One forward dataflow problem: lattice value ``T`` per block edge.
+
+    Subclasses define the entry fact, the bottom element, the join, and
+    the per-block transfer function.  Facts must be immutable (or
+    treated as such) and comparable with ``==``.
+    """
+
+    def initial(self) -> T:
+        raise NotImplementedError
+
+    def bottom(self) -> T:
+        raise NotImplementedError
+
+    def join(self, a: T, b: T) -> T:
+        raise NotImplementedError
+
+    def transfer(self, block: Block, fact: T) -> T:
+        raise NotImplementedError
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis[T]) -> dict[int, T]:
+    """Worklist fixpoint; returns the IN fact of every reachable block."""
+    reach = cfg.reachable()
+    in_facts: dict[int, T] = {b: analysis.bottom() for b in reach}
+    in_facts[cfg.entry] = analysis.initial()
+    out_facts: dict[int, T] = {
+        b: analysis.transfer(cfg.blocks[b], in_facts[b]) for b in reach
+    }
+    work = sorted(reach)
+    while work:
+        b = work.pop(0)
+        preds = [p for p in cfg.blocks[b].preds if p in reach]
+        if preds:
+            fact = out_facts[preds[0]]
+            for p in preds[1:]:
+                fact = analysis.join(fact, out_facts[p])
+            if b == cfg.entry:
+                fact = analysis.join(fact, analysis.initial())
+        else:
+            fact = analysis.initial() if b == cfg.entry else analysis.bottom()
+        out = analysis.transfer(cfg.blocks[b], fact)
+        if fact != in_facts[b] or out != out_facts[b]:
+            in_facts[b] = fact
+            out_facts[b] = out
+            for s in cfg.blocks[b].succs:
+                if s in reach and s not in work:
+                    work.append(s)
+    return in_facts
+
+
+# -- path enumeration ---------------------------------------------------------
+
+
+def enumerate_paths(
+    cfg: CFG,
+    start: int,
+    limit: int = 128,
+    keep: Callable[[Block], bool] | None = None,
+) -> list[tuple[int, ...]]:
+    """Acyclic block-index paths from ``start`` to the exit (capped).
+
+    Back edges are skipped (each block appears at most once per path),
+    so loop bodies contribute one traversal.  When ``limit`` is hit the
+    enumeration stops — callers must treat the result as a sample.  With
+    ``keep`` given, returned paths are filtered to blocks it accepts
+    (the full graph is still traversed).
+    """
+    paths: list[tuple[int, ...]] = []
+    stack: list[tuple[int, tuple[int, ...], frozenset[int]]] = [
+        (start, (start,), frozenset([start]))
+    ]
+    while stack and len(paths) < limit:
+        node, path, seen = stack.pop()
+        if node == cfg.exit:
+            if keep is None:
+                paths.append(path)
+            else:
+                paths.append(tuple(b for b in path if keep(cfg.blocks[b])))
+            continue
+        for s in reversed(cfg.blocks[node].succs):
+            if s not in seen:
+                stack.append((s, path + (s,), seen | {s}))
+    return paths

@@ -45,7 +45,7 @@ class AnalysisContext:
     #: lazily-created per-step spatial cache (see :meth:`shared_spatial`)
     _spatial: Any = field(default=None, init=False, repr=False, compare=False)
 
-    def shared_spatial(self, sim):
+    def shared_spatial(self, sim: Any) -> Any:
         """The step's shared spatial cache, created on first use.
 
         Keyed to this context's lifetime: a new analysis step gets a new
@@ -83,7 +83,7 @@ class InSituAlgorithm(ABC):
     #: Unique registry name; subclasses must override.
     name: str = "abstract"
 
-    def __init__(self, **parameters: Any):
+    def __init__(self, **parameters: Any) -> None:
         self.parameters: dict[str, Any] = {}
         if parameters:
             self.set_parameters(**parameters)
@@ -105,7 +105,7 @@ class InSituAlgorithm(ABC):
         """Whether to run at this time step / scale factor."""
 
     @abstractmethod
-    def execute(self, sim, context: AnalysisContext) -> None:
+    def execute(self, sim: Any, context: AnalysisContext) -> None:
         """Perform the analysis against the live simulation state.
 
         ``sim`` is the running simulation (exposes ``particles``,

@@ -34,7 +34,7 @@ from ..analysis.so import so_masses_indexed
 from ..analysis.subhalos import find_subhalos
 from ..io.catalog import HaloCatalog
 from ..io.genericio import write_genericio
-from ..parallel.communicator import run_spmd
+from ..parallel.communicator import Communicator, run_spmd
 from ..parallel.decomposition import CartesianDecomposition
 from .algorithm import AnalysisContext, InSituAlgorithm
 
@@ -87,7 +87,7 @@ class PowerSpectrumAlgorithm(_Scheduled):
     ng: int | None = None
     n_bins: int | None = None
 
-    def execute(self, sim, context: AnalysisContext) -> None:
+    def execute(self, sim: Any, context: AnalysisContext) -> None:
         ng = self.ng if self.ng is not None else sim.config.mesh_size
         result = measure_power_spectrum(
             sim.particles.pos, box=sim.config.box, ng=ng, n_bins=self.n_bins
@@ -132,7 +132,7 @@ class HaloFinderAlgorithm(_Scheduled):
     local_finder: str = "grid"
     transport: Any = None
 
-    def execute(self, sim, context: AnalysisContext) -> None:
+    def execute(self, sim: Any, context: AnalysisContext) -> None:
         box = sim.config.box
         mean_sep = box / sim.config.np_per_dim
         ll = self.linking_length if self.linking_length else self.linking_length_factor * mean_sep
@@ -144,7 +144,7 @@ class HaloFinderAlgorithm(_Scheduled):
         # to be rebuilt inside prog — i.e. n_ranks times per step)
         owners = context.shared_spatial(sim).owners(decomp)
 
-        def prog(comm):
+        def prog(comm: Communicator) -> tuple[Any, float]:
             mine = owners == comm.rank
             t0 = time.perf_counter()
             halos = parallel_fof(
@@ -202,7 +202,7 @@ class HaloCenterAlgorithm(_Scheduled):
     softening: float = 1.0e-5
     workers: int | None = None
 
-    def execute(self, sim, context: AnalysisContext) -> None:
+    def execute(self, sim: Any, context: AnalysisContext) -> None:
         fof = context.require("fof")
         pos = np.asarray(sim.particles.pos, dtype=float)
         index_of = context.shared_spatial(sim).tag_index()
@@ -316,7 +316,7 @@ class SubhaloFinderAlgorithm(_Scheduled):
     #: engine's per-halo timings so the imbalance metric is preserved
     workers: int | None = None
 
-    def execute(self, sim, context: AnalysisContext) -> None:
+    def execute(self, sim: Any, context: AnalysisContext) -> None:
         fof = context.require("fof")
         pos = np.asarray(sim.particles.pos, dtype=float)
         vel = np.asarray(sim.particles.vel, dtype=float)
@@ -398,7 +398,7 @@ class SOMassAlgorithm(_Scheduled):
     name = "so_mass"
     delta: float = 200.0
 
-    def execute(self, sim, context: AnalysisContext) -> None:
+    def execute(self, sim: Any, context: AnalysisContext) -> None:
         centers = context.require("centers")
         fof = context.require("fof")
         catalog: HaloCatalog = centers["catalog"]
@@ -447,7 +447,7 @@ class Level1WriterAlgorithm(_Scheduled):
     output_dir: str = "."
     n_ranks: int = 8
 
-    def execute(self, sim, context: AnalysisContext) -> None:
+    def execute(self, sim: Any, context: AnalysisContext) -> None:
         pos = np.asarray(sim.particles.pos, dtype=np.float32)
         vel = np.asarray(sim.particles.vel, dtype=np.float32)
         tags = np.asarray(sim.particles.tag, dtype=np.uint64)
@@ -483,7 +483,7 @@ class Level2WriterAlgorithm(_Scheduled):
     name = "level2_writer"
     output_dir: str = "."
 
-    def execute(self, sim, context: AnalysisContext) -> None:
+    def execute(self, sim: Any, context: AnalysisContext) -> None:
         fof = context.require("fof")
         centers = context.require("centers")
         offloaded = centers["offloaded_halo_tags"]
@@ -543,7 +543,7 @@ class Level2StageAlgorithm(Level2WriterAlgorithm):
     name = "level2_stager"
     staging = None  # StagingArea, injected by the workflow driver
 
-    def execute(self, sim, context: AnalysisContext) -> None:
+    def execute(self, sim: Any, context: AnalysisContext) -> None:
         if self.staging is None:
             raise RuntimeError("Level2StageAlgorithm.staging not configured")
         fof = context.require("fof")

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 __all__ = ["parse_value", "parse_deck", "CosmoToolsConfig", "InputDeck"]
 
@@ -47,7 +47,7 @@ def parse_value(text: str) -> Any:
     return text
 
 
-def _iter_lines(text: str):
+def _iter_lines(text: str) -> Iterator[str]:
     for raw in text.splitlines():
         line = raw.split("#", 1)[0].strip()
         if line:
@@ -97,7 +97,7 @@ class InputDeck:
     def cosmotools_config_path(self) -> str | None:
         return self.values.get("cosmotools_config")
 
-    def simulation_config(self):
+    def simulation_config(self) -> Any:
         """Build a :class:`~repro.sim.hacc.SimulationConfig` from the deck."""
         from ..sim.hacc import SimulationConfig
 
@@ -152,7 +152,7 @@ class CosmoToolsConfig:
             raise KeyError(f"no section {name!r} in CosmoTools config")
         return dict(self.sections[name])
 
-    def build_manager(self):
+    def build_manager(self) -> Any:
         """Instantiate an :class:`InSituAnalysisManager` from this config.
 
         Each enabled section name must match a registered concrete

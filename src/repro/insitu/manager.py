@@ -14,7 +14,7 @@ and archives the per-step :class:`~repro.insitu.algorithm.AnalysisContext`.
 from __future__ import annotations
 
 import time
-from typing import Iterator
+from typing import Any, Iterator
 
 from ..obs import get_recorder
 from .algorithm import AnalysisContext, InSituAlgorithm
@@ -61,7 +61,7 @@ class InSituAnalysisManager:
 
     # -- the simulation hook ----------------------------------------------------
 
-    def execute(self, sim, step: int, a: float) -> AnalysisContext:
+    def execute(self, sim: Any, step: int, a: float) -> AnalysisContext:
         """Run every algorithm due at ``(step, a)`` against ``sim``.
 
         Returns the step's :class:`AnalysisContext` (also archived in

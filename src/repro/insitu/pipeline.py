@@ -58,7 +58,7 @@ class SimSnapshot:
 
     __slots__ = ("a", "config", "cosmo", "particles", "step")
 
-    def __init__(self, sim: Any, particles: "Particles", step: int, a: float):
+    def __init__(self, sim: Any, particles: "Particles", step: int, a: float) -> None:
         self.particles = particles
         self.config = sim.config
         self.cosmo = sim.cosmo
@@ -77,7 +77,7 @@ class PendingAnalysis:
 
     __slots__ = ("future", "step")
 
-    def __init__(self, step: int, future: "Future[AnalysisContext]"):
+    def __init__(self, step: int, future: "Future[AnalysisContext]") -> None:
         self.step = step
         self.future = future
 

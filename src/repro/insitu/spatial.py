@@ -30,6 +30,8 @@ new :class:`SharedStepIndex`.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from ..analysis.spatial_index import PeriodicCellIndex
@@ -50,7 +52,7 @@ class SharedStepIndex:
         structure is actually requested.
     """
 
-    def __init__(self, particles):
+    def __init__(self, particles: Any) -> None:
         self.particles = particles
         self.box = float(particles.box)
         self._cell_indexes: dict[float, PeriodicCellIndex] = {}

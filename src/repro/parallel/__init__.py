@@ -10,13 +10,14 @@ with ``run_spmd(..., transport="thread"|"process")`` or
 :class:`~repro.parallel.transport.SpmdConfig`.
 """
 
-from .communicator import Communicator, SpmdError, World, run_spmd
+from .communicator import CollectiveProtocolError, Communicator, SpmdError, World, run_spmd
 from .decomposition import CartesianDecomposition, factor_dims
 from .exchange import ExchangeStats, alltoallv_arrays, redistribute_arrays
 from .overload import OVERLOAD_SAFETY_FACTOR, overload_destinations, select_overload
 from .transport import ProcessWorld, SpmdConfig, resolve_transport
 
 __all__ = [
+    "CollectiveProtocolError",
     "Communicator",
     "SpmdError",
     "World",

@@ -27,8 +27,10 @@ makes the transports swappable.
 
 from __future__ import annotations
 
+import hashlib
 import queue
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
@@ -37,7 +39,13 @@ import numpy as np
 if TYPE_CHECKING:
     from .transport import SpmdConfig
 
-__all__ = ["Communicator", "World", "run_spmd", "SpmdError"]
+__all__ = [
+    "CollectiveProtocolError",
+    "Communicator",
+    "SpmdError",
+    "World",
+    "run_spmd",
+]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -48,6 +56,16 @@ DEFAULT_TIMEOUT = 120.0
 
 class SpmdError(RuntimeError):
     """Raised when an SPMD program deadlocks or a rank raises."""
+
+
+class CollectiveProtocolError(SpmdError):
+    """The collective-sequence sanitizer found ranks out of protocol.
+
+    Raised on *every* rank when, at a barrier, the hashed ordered
+    collective-op/dtype/shape sequences disagree across ranks; the
+    message names the diverging rank(s).  Only armed under
+    ``REPRO_SANITIZE=1`` (the runtime twin of static rule RPR011).
+    """
 
 
 def _isolate(obj: Any) -> Any:
@@ -98,7 +116,7 @@ class World:
     ``aborted``) the :class:`Communicator` is written against.
     """
 
-    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT):
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
@@ -164,6 +182,77 @@ class World:
             ) from None
 
 
+def _shape_sig(obj: Any, depth: int = 0) -> str:
+    """Rank-invariant type/dtype/shape signature of a collective payload.
+
+    Only structure is hashed, never values, so per-rank *data* may differ
+    (scatter parts, reduce contributions) while protocol divergence —
+    a different op order, dtype, or shape — still changes the digest.
+    """
+    if isinstance(obj, np.ndarray):
+        return f"nd[{obj.dtype.str},{obj.shape}]"
+    if isinstance(obj, (list, tuple)):
+        if depth >= 2 or not obj:
+            return f"seq[{len(obj)}]"
+        return f"seq[{len(obj)},{_shape_sig(obj[0], depth + 1)}]"
+    if isinstance(obj, dict):
+        return f"map[{len(obj)}]"
+    return type(obj).__name__
+
+
+class _ProtocolRecorder:
+    """Running hash of one rank's ordered collective-op signatures."""
+
+    __slots__ = ("_hash", "count", "recent")
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.count = 0
+        self.recent: deque[str] = deque(maxlen=6)
+
+    def record(self, *sig: object) -> None:
+        text = "|".join(str(part) for part in sig)
+        self._hash.update(text.encode())
+        self._hash.update(b"\n")
+        self.count += 1
+        self.recent.append(text)
+
+    def digest(self) -> str:
+        return self._hash.hexdigest()
+
+
+def _protocol_verdict(
+    reports: dict[int, tuple[str, int, tuple[str, ...]]],
+) -> str:
+    """Compare per-rank (digest, count, recent-ops); "" when consistent.
+
+    The majority (ties broken toward the group containing the lowest
+    rank) defines the reference protocol; everyone else is named as
+    diverging, with op counts and last-op tails for diagnosis.
+    """
+    groups: dict[tuple[str, int], list[int]] = {}
+    for rank, (digest, count, _recent) in reports.items():
+        groups.setdefault((digest, count), []).append(rank)
+    if len(groups) <= 1:
+        return ""
+    modal_key = max(groups, key=lambda k: (len(groups[k]), -min(groups[k])))
+    modal_ranks = sorted(groups[modal_key])
+    divergers = sorted(r for r in reports if r not in groups[modal_key])
+    parts = []
+    for rank in divergers:
+        digest, count, recent = reports[rank]
+        tail = " <- ".join(reversed(recent)) or "(none)"
+        parts.append(f"rank {rank}: {count} op(s), last: {tail}")
+    _, modal_count, modal_recent = reports[modal_ranks[0]]
+    modal_tail = " <- ".join(reversed(modal_recent)) or "(none)"
+    return (
+        "collective protocol divergence at barrier: "
+        f"rank(s) {', '.join(map(str, divergers))} diverge from the majority "
+        f"(ranks {', '.join(map(str, modal_ranks))}: {modal_count} op(s), "
+        f"last: {modal_tail}); {'; '.join(parts)}"
+    )
+
+
 def _payload_bytes(obj: Any) -> int:
     if isinstance(obj, np.ndarray):
         return obj.nbytes
@@ -184,10 +273,19 @@ class Communicator:
     :mod:`repro.parallel.transport`.
     """
 
-    def __init__(self, world: Any, rank: int):
+    def __init__(self, world: Any, rank: int) -> None:
         self.world = world
         self.rank = rank
         self.size = world.size
+        # Collective-sequence sanitizer (RPR011's runtime twin): armed only
+        # under REPRO_SANITIZE=1, so the hot path costs one env lookup at
+        # construction.  Forked process ranks inherit the environment, so
+        # the same switch arms both transports.
+        from ..check.sanitize import sanitize_enabled
+
+        self._protocol: _ProtocolRecorder | None = (
+            _ProtocolRecorder() if sanitize_enabled() else None
+        )
 
     # -- point to point -------------------------------------------------
 
@@ -227,9 +325,39 @@ class Communicator:
 
         If the barrier breaks, the raised :class:`SpmdError` names the
         rank that died or timed out and (thread transport) chains the
-        originating exception.
+        originating exception.  With ``REPRO_SANITIZE=1`` the barrier is
+        also the protocol checkpoint: ranks cross-check their hashed
+        collective sequences here and fail fast, naming the diverging
+        rank, instead of deadlocking later.
         """
+        if self._protocol is not None:
+            self._protocol.record("barrier")
+            self._check_protocol()
         self.world.barrier_wait()
+
+    def _check_protocol(self) -> None:
+        """Cross-check per-rank collective-sequence digests (rank 0 judges)."""
+        proto = self._protocol
+        if proto is None or self.size == 1:
+            return
+        tag = _SysTag.SANITIZE
+        if self.rank != 0:
+            self.send((self.rank, proto.digest(), proto.count, tuple(proto.recent)), 0, tag)
+            verdict = self.recv(0, tag)
+            if verdict:
+                raise CollectiveProtocolError(verdict)
+            return
+        reports: dict[int, tuple[str, int, tuple[str, ...]]] = {
+            0: (proto.digest(), proto.count, tuple(proto.recent))
+        }
+        for _ in range(self.size - 1):
+            rank, digest, count, recent = self.recv(ANY_SOURCE, tag)
+            reports[rank] = (digest, count, tuple(recent))
+        verdict = _protocol_verdict(reports)
+        for dst in range(1, self.size):
+            self.send(verdict, dst, tag)
+        if verdict:
+            raise CollectiveProtocolError(verdict)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root`` to all ranks."""
@@ -238,12 +366,20 @@ class Communicator:
             for dst in range(self.size):
                 if dst != root:
                     self.send(obj, dst, tag)
-            return _isolate(obj)
-        return self.recv(root, tag)
+            out = _isolate(obj)
+        else:
+            out = self.recv(root, tag)
+        if self._protocol is not None:
+            # the broadcast value is identical on every rank, so its
+            # structural signature is rank-invariant by construction
+            self._protocol.record("bcast", root, _shape_sig(out))
+        return out
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter one element of ``objs`` to each rank."""
         tag = _SysTag.SCATTER
+        if self._protocol is not None:
+            self._protocol.record("scatter", root)
         if self.rank == root:
             if objs is None or len(objs) != self.size:
                 raise ValueError("scatter requires len(objs) == comm.size at root")
@@ -256,6 +392,8 @@ class Communicator:
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one object per rank at ``root`` (rank order)."""
         tag = _SysTag.GATHER
+        if self._protocol is not None:
+            self._protocol.record("gather", root)
         if self.rank == root:
             out: list[Any] = [None] * self.size
             out[root] = _isolate(obj)
@@ -299,6 +437,8 @@ class Communicator:
         if len(objs) != self.size:
             raise ValueError("alltoall requires len(objs) == comm.size")
         tag = _SysTag.ALLTOALL
+        if self._protocol is not None:
+            self._protocol.record("alltoall", self.size)
         for dst in range(self.size):
             if dst != self.rank:
                 self.send((self.rank, objs[dst]), dst, tag)
@@ -317,6 +457,7 @@ class _SysTag:
     SCATTER = -102
     GATHER = -103
     ALLTOALL = -104
+    SANITIZE = -105  # collective-sequence sanitizer cross-check
 
 
 def run_spmd(

@@ -113,7 +113,7 @@ class ProcessWorld:
     callers; it carries no live transport state.
     """
 
-    def __init__(self, size: int, timeout: float):
+    def __init__(self, size: int, timeout: float) -> None:
         self.size = size
         self.timeout = timeout
         self.messages_sent = 0
@@ -133,7 +133,7 @@ class _ShmSlot:
 
     __slots__ = ("key",)
 
-    def __init__(self, key: str):
+    def __init__(self, key: str) -> None:
         self.key = key
 
 
@@ -246,7 +246,7 @@ class _ProcessRankWorld:
         failed_rank: Any,
         timeout: float,
         shm_threshold: int,
-    ):
+    ) -> None:
         self.rank = rank
         self.size = size
         self.timeout = timeout
@@ -386,7 +386,7 @@ def _process_rank_main(
 class RemoteRankError(RuntimeError):
     """Carries the formatted traceback of a failed SPMD rank process."""
 
-    def __init__(self, rank: int, formatted_traceback: str):
+    def __init__(self, rank: int, formatted_traceback: str) -> None:
         super().__init__(
             f"rank {rank} traceback:\n{formatted_traceback}"
         )

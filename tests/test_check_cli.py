@@ -95,6 +95,82 @@ def test_select_filters_findings(tmp_path, capsys):
     assert "RPR004" in out and "RPR001" not in out
 
 
+def test_rules_json_listing(capsys):
+    assert main(["--rules"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    codes = [r["code"] for r in payload["rules"]]
+    assert codes == sorted(codes)
+    assert codes[0] == "RPR001" and "RPR015" in codes
+    for rule in payload["rules"]:
+        assert sorted(rule) == ["code", "name", "scopes", "summary"]
+        assert rule["summary"]
+
+
+# -- --changed (git-diff-scoped runs) ------------------------------------------
+
+
+def _git(cwd: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", *argv],
+        cwd=str(cwd),
+        check=True,
+        capture_output=True,
+        env={
+            "PATH": "/usr/bin:/bin",
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+        },
+    )
+
+
+def test_changed_analyzes_only_modified_files(tmp_path, capsys, monkeypatch):
+    _git(tmp_path, "init", "-q")
+    write(tmp_path, "clean.py", CLEAN)
+    write(tmp_path, "other.py", DIRTY)
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    # dirty only clean.py; other.py stays committed and untouched
+    write(tmp_path, "clean.py", DIRTY)
+    monkeypatch.chdir(tmp_path)
+    assert main(["--changed", "--no-config"]) == 1
+    out = capsys.readouterr().out
+    assert "clean.py" in out and "other.py" not in out
+
+
+def test_changed_includes_untracked_files(tmp_path, capsys, monkeypatch):
+    _git(tmp_path, "init", "-q")
+    write(tmp_path, "tracked.py", CLEAN)
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    write(tmp_path, "fresh.py", DIRTY)
+    monkeypatch.chdir(tmp_path)
+    assert main(["--changed", "--no-config"]) == 1
+    assert "fresh.py" in capsys.readouterr().out
+
+
+def test_changed_clean_tree_exits_zero(tmp_path, capsys, monkeypatch):
+    _git(tmp_path, "init", "-q")
+    write(tmp_path, "clean.py", CLEAN)
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    monkeypatch.chdir(tmp_path)
+    assert main(["--changed", "--no-config"]) == 0
+    assert "no changed" in capsys.readouterr().out
+
+
+def test_changed_bad_ref_exits_two(tmp_path, capsys, monkeypatch):
+    _git(tmp_path, "init", "-q")
+    write(tmp_path, "clean.py", CLEAN)
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    monkeypatch.chdir(tmp_path)
+    assert main(["--changed", "no-such-ref", "--no-config"]) == 2
+    assert "--changed" in capsys.readouterr().err
+
+
 # -- golden JSON report --------------------------------------------------------
 
 

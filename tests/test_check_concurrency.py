@@ -1,0 +1,464 @@
+"""Fixture tests for the flow-sensitive concurrency rules (RPR011-RPR015).
+
+Every rule gets at least one injected-defect fixture (must be flagged)
+and one near-miss (structurally similar, must pass), mirroring the bug
+classes the SPMD transports can actually hit.  Call-graph expansion is
+covered separately at the bottom.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.check import CheckConfig, analyze_source
+from repro.check.analyzer import ModuleContext
+from repro.check.callgraph import (
+    ModuleCallGraph,
+    blocking_call_name,
+    collective_of,
+)
+
+ANALYSIS = "parallel/snippet.py"
+
+
+def codes(src: str, select: tuple[str, ...] | None = None) -> list[str]:
+    cfg = CheckConfig(select=select or ())
+    res = analyze_source(
+        textwrap.dedent(src), path=f"src/repro/{ANALYSIS}", rel=ANALYSIS, config=cfg
+    )
+    return [f.code for f in res.findings]
+
+
+def messages(src: str, select: tuple[str, ...]) -> list[str]:
+    cfg = CheckConfig(select=select)
+    res = analyze_source(
+        textwrap.dedent(src), path=f"src/repro/{ANALYSIS}", rel=ANALYSIS, config=cfg
+    )
+    return [f.message for f in res.findings]
+
+
+# -- RPR011: collective matching ----------------------------------------------
+
+
+def test_rpr011_rank_guarded_barrier_flagged():
+    src = """
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()
+            return comm.rank
+    """
+    assert codes(src, ("RPR011",)) == ["RPR011"]
+
+
+def test_rpr011_message_shows_divergence():
+    src = """
+        def prog(comm):
+            if comm.rank == 0:
+                comm.bcast(1, root=0)
+    """
+    (msg,) = messages(src, ("RPR011",))
+    assert "bcast" in msg and "no collective" in msg
+
+
+def test_rpr011_both_arms_collective_ok():
+    src = """
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()
+            else:
+                comm.barrier()
+            return comm.rank
+    """
+    assert codes(src, ("RPR011",)) == []
+
+
+def test_rpr011_collective_after_join_ok():
+    src = """
+        def prog(comm):
+            if comm.rank == 0:
+                data = load()
+            else:
+                data = None
+            data = comm.bcast(data, root=0)
+            comm.barrier()
+            return data
+    """
+    assert codes(src, ("RPR011",)) == []
+
+
+def test_rpr011_sees_through_local_helper():
+    src = """
+        def exchange(comm):
+            comm.allreduce(1)
+
+        def prog(comm):
+            if comm.rank == 0:
+                exchange(comm)
+            return comm.rank
+    """
+    assert codes(src, ("RPR011",)) == ["RPR011"]
+
+
+def test_rpr011_matching_helper_ok():
+    src = """
+        def exchange(comm):
+            comm.allreduce(1)
+
+        def prog(comm):
+            if comm.rank == 0:
+                exchange(comm)
+            else:
+                comm.allreduce(1)
+            return comm.rank
+    """
+    assert codes(src, ("RPR011",)) == []
+
+
+def test_rpr011_non_rank_branch_ignored():
+    src = """
+        def prog(comm, verbose):
+            if verbose:
+                comm.barrier()
+            return comm.rank
+    """
+    assert codes(src, ("RPR011",)) == []
+
+
+def test_rpr011_noqa_suppression():
+    src = """
+        def prog(comm):
+            if comm.rank == 0:  # repro: noqa[RPR011] - deliberate for the test
+                comm.barrier()
+    """
+    res = analyze_source(
+        textwrap.dedent(src),
+        path=f"src/repro/{ANALYSIS}",
+        rel=ANALYSIS,
+        config=CheckConfig(select=("RPR011",)),
+    )
+    assert res.findings == []
+    assert res.suppressed == 1
+
+
+# -- RPR012: shared-memory ownership ------------------------------------------
+
+
+def test_rpr012_use_after_unlink_flagged():
+    src = """
+        def f(arrays):
+            store = SharedParticleStore.create(**arrays)
+            store.unlink()
+            return store["pos"]
+    """
+    msgs = messages(src, ("RPR012",))
+    assert any("use-after-transfer" in m for m in msgs)
+
+
+def test_rpr012_double_unlink_flagged():
+    src = """
+        def f(arrays):
+            store = SharedParticleStore.create(**arrays)
+            store.unlink()
+            store.unlink()
+    """
+    msgs = messages(src, ("RPR012",))
+    assert any("double release" in m for m in msgs)
+
+
+def test_rpr012_leak_on_branch_flagged():
+    src = """
+        def f(arrays, keep):
+            store = SharedParticleStore.create(**arrays)
+            if not keep:
+                store.unlink()
+    """
+    msgs = messages(src, ("RPR012",))
+    assert any("leaked segment" in m for m in msgs)
+
+
+def test_rpr012_linear_release_ok():
+    src = """
+        def f(arrays):
+            store = SharedParticleStore.create(**arrays)
+            pos = store["pos"]
+            store.unlink()
+            return pos
+    """
+    assert codes(src, ("RPR012",)) == []
+
+
+def test_rpr012_try_finally_ok():
+    src = """
+        def f(arrays):
+            store = SharedParticleStore.create(**arrays)
+            try:
+                return store["pos"]
+            finally:
+                store.unlink()
+    """
+    assert codes(src, ("RPR012",)) == []
+
+
+def test_rpr012_escape_stops_tracking():
+    src = """
+        def f(arrays):
+            store = SharedParticleStore.create(**arrays)
+            return store
+    """
+    assert codes(src, ("RPR012",)) == []
+
+
+def test_rpr012_supersedes_rpr005_for_proven_release():
+    """Linear create→use→unlink satisfies RPR005 via the dataflow proof
+    even without a try/finally."""
+    src = """
+        def f(arrays):
+            store = SharedParticleStore.create(**arrays)
+            pos = store["pos"]
+            store.unlink()
+            return pos
+    """
+    assert codes(src, ("RPR005", "RPR012")) == []
+
+
+# -- RPR013: blocking under a lock --------------------------------------------
+
+
+def test_rpr013_get_under_lock_flagged():
+    src = """
+        def f(self, q):
+            with self._lock:
+                return q.get()
+    """
+    assert codes(src, ("RPR013",)) == ["RPR013"]
+
+
+def test_rpr013_bounded_get_ok():
+    src = """
+        def f(self, q):
+            with self._lock:
+                return q.get(timeout=0.5)
+    """
+    assert codes(src, ("RPR013",)) == []
+
+
+def test_rpr013_nowait_ok():
+    src = """
+        def f(self, q):
+            with self._lock:
+                return q.get_nowait()
+    """
+    assert codes(src, ("RPR013",)) == []
+
+
+def test_rpr013_blocking_outside_lock_ok():
+    src = """
+        def f(self, q):
+            with self._lock:
+                n = self.count
+            return q.get()
+    """
+    assert codes(src, ("RPR013",)) == []
+
+
+def test_rpr013_condition_wait_on_held_lock_ok():
+    """``cond.wait()`` releases the lock it is waiting on — exempt."""
+    src = """
+        def f(self):
+            with self._lock:
+                self._lock.wait()
+    """
+    assert codes(src, ("RPR013",)) == []
+
+
+# -- RPR014: unbounded receive loop -------------------------------------------
+
+
+def test_rpr014_bare_receive_loop_flagged():
+    src = """
+        def drain(q):
+            while True:
+                item = q.get()
+                handle(item)
+    """
+    assert codes(src, ("RPR014",)) == ["RPR014"]
+
+
+def test_rpr014_sentinel_break_ok():
+    src = """
+        def drain(q):
+            while True:
+                item = q.get()
+                if item is None:
+                    break
+                handle(item)
+    """
+    assert codes(src, ("RPR014",)) == []
+
+
+def test_rpr014_timeout_ok():
+    src = """
+        def drain(q):
+            while True:
+                item = q.get(timeout=1.0)
+                handle(item)
+    """
+    assert codes(src, ("RPR014",)) == []
+
+
+def test_rpr014_abort_flag_ok():
+    src = """
+        def drain(q, stop):
+            while not stop.is_set():
+                item = q.get()
+                handle(item)
+    """
+    assert codes(src, ("RPR014",)) == []
+
+
+def test_rpr014_mapping_get_ok():
+    src = """
+        def walk(parents, cur):
+            while cur is not None:
+                cur = parents.get(cur)
+    """
+    assert codes(src, ("RPR014",)) == []
+
+
+# -- RPR015: fork after threads -----------------------------------------------
+
+
+def test_rpr015_fork_after_thread_flagged():
+    src = """
+        import multiprocessing
+        import threading
+
+        def f(work):
+            t = threading.Thread(target=work)
+            t.start()
+            p = multiprocessing.Process(target=work)
+            p.start()
+    """
+    assert codes(src, ("RPR015",)) == ["RPR015"]
+
+
+def test_rpr015_fork_before_thread_ok():
+    src = """
+        import multiprocessing
+        import threading
+
+        def f(work):
+            p = multiprocessing.Process(target=work)
+            p.start()
+            t = threading.Thread(target=work)
+            t.start()
+    """
+    assert codes(src, ("RPR015",)) == []
+
+
+def test_rpr015_thread_only_ok():
+    src = """
+        import threading
+
+        def f(work):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join(1.0)
+    """
+    assert codes(src, ("RPR015",)) == []
+
+
+def test_rpr015_fork_in_branch_after_thread_flagged():
+    src = """
+        import multiprocessing
+        import threading
+
+        def f(work, heavy):
+            t = threading.Thread(target=work)
+            t.start()
+            if heavy:
+                p = multiprocessing.Process(target=work)
+                p.start()
+    """
+    assert codes(src, ("RPR015",)) == ["RPR015"]
+
+
+# -- call-graph summaries ------------------------------------------------------
+
+
+def _ctx(src: str) -> ModuleContext:
+    source = textwrap.dedent(src)
+    return ModuleContext(
+        tree=ast.parse(source),
+        source=source,
+        path="snippet.py",
+        rel=None,
+        config=CheckConfig(),
+    )
+
+
+def test_collective_of_vocabulary():
+    assert collective_of(ast.parse("comm.barrier()").body[0].value) == "barrier"
+    assert collective_of(ast.parse("comm.gather(x)").body[0].value) == "gather"
+    # array-op gather on a non-communicator receiver is not a rendezvous
+    assert collective_of(ast.parse("backend.gather(x)").body[0].value) is None
+
+
+def test_blocking_call_name_bounds():
+    assert blocking_call_name(ast.parse("q.get()").body[0].value) == "q.get"
+    assert blocking_call_name(ast.parse("q.get(timeout=1)").body[0].value) is None
+    assert blocking_call_name(ast.parse("d.get(key)").body[0].value) is None
+    assert blocking_call_name(ast.parse("q.get_nowait()").body[0].value) is None
+
+
+def test_callgraph_expands_local_helpers():
+    ctx = _ctx(
+        """
+        def leaf(comm):
+            comm.barrier()
+
+        def mid(comm):
+            leaf(comm)
+            comm.bcast(1, root=0)
+
+        def top(comm):
+            mid(comm)
+        """
+    )
+    cg = ModuleCallGraph(ctx)
+    assert cg.expanded_collectives("mid") == ("barrier", "bcast")
+    assert cg.expanded_collectives("top") == ("barrier", "bcast")
+
+
+def test_callgraph_recursion_terminates():
+    ctx = _ctx(
+        """
+        def a(comm):
+            b(comm)
+            comm.barrier()
+
+        def b(comm):
+            a(comm)
+        """
+    )
+    cg = ModuleCallGraph(ctx)
+    assert "barrier" in cg.expanded_collectives("a")
+
+
+def test_callgraph_transitive_effects():
+    ctx = _ctx(
+        """
+        import threading
+
+        def spin(work):
+            t = threading.Thread(target=work)
+            t.start()
+
+        def outer(work):
+            spin(work)
+        """
+    )
+    cg = ModuleCallGraph(ctx)
+    assert cg.transitively("outer", "thread_start")
+    assert not cg.transitively("outer", "fork")

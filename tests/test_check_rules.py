@@ -29,8 +29,8 @@ def codes(src: str, rel: str = ANALYSIS, config: CheckConfig | None = None) -> l
 # -- registry ------------------------------------------------------------------
 
 
-def test_registry_has_all_ten_rules():
-    assert sorted(all_rules()) == [f"RPR{i:03d}" for i in range(1, 11)]
+def test_registry_has_all_fifteen_rules():
+    assert sorted(all_rules()) == [f"RPR{i:03d}" for i in range(1, 16)]
 
 
 def test_parse_error_reports_rpr000():
@@ -224,7 +224,8 @@ def test_rpr005_store_create_flagged():
             store = SharedParticleStore.create(**arrays)
             return store["pos"]
     """
-    assert codes(src) == ["RPR005"]
+    # RPR012's ownership dataflow confirms the leak on the same line.
+    assert codes(src) == ["RPR005", "RPR012"]
 
 
 # -- RPR006: silent broad except ----------------------------------------------
