@@ -1,0 +1,115 @@
+"""Subprocess worker for the streaming-vs-in-memory RSS benchmark.
+
+``ru_maxrss`` is a per-process high-water mark, so the streamed and
+in-memory passes must each run in a fresh interpreter to be comparable —
+``test_stream_scaling.py`` launches one of these per (mode, size) cell.
+
+Usage: ``python _stream_worker.py '<json config>'`` with keys ``mode``
+(``"make"``, ``"stream"`` or ``"memory"``), ``path`` (slab snapshot),
+``chunk_rows``, ``linking_length``, ``min_count``, ``mf_bins``.  Prints
+one JSON line: baseline/peak RSS (bytes), analysis wall seconds, and a
+catalog digest for the cross-mode bit-identity check.
+
+``make`` generates the clustered snapshot — in a subprocess for the same
+reason the measurements are: a forked child inherits the parent's
+resident pages, so any large array the parent ever held would inflate
+every later worker's baseline ``ru_maxrss``.
+"""
+
+import hashlib
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis.fof import fof_grid
+from repro.analysis.mass_function import mass_function
+from repro.io.genericio import GenericIOFile, read_genericio
+from repro.obs import sample_memory
+from repro.streaming import GenericIOStream, StreamingAnalysis, write_slab_snapshot
+
+
+def _digest(tags: np.ndarray, counts: np.ndarray) -> str:
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(tags, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(counts, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def run_make(cfg: dict) -> dict:
+    """Clustered particles at fixed number density (box side ∝ n^{1/3})."""
+    n = cfg["n"]
+    rng = np.random.default_rng(cfg["seed"])
+    box = float(round(n ** (1 / 3)))  # spacing 1 => ll = 0.2
+    n_blob = n // 4
+    n_centers = max(n // 2000, 8)
+    centers = rng.uniform(0, box, (n_centers, 3))
+    blob = centers[rng.integers(0, n_centers, n_blob)] + rng.normal(
+        0, 0.15, (n_blob, 3)
+    )
+    pos = np.concatenate([blob, rng.uniform(0, box, (n - n_blob, 3))])
+    nbytes = write_slab_snapshot(cfg["path"], np.mod(pos, box), box=box, block_rows=131072)
+    return {"box": box, "payload_bytes": nbytes}
+
+
+def run_stream(cfg: dict) -> dict:
+    engine = StreamingAnalysis(
+        linking_length=cfg["linking_length"],
+        min_count=cfg["min_count"],
+        mass_function_bins=tuple(cfg["mf_bins"]),
+    )
+    t0 = time.perf_counter()
+    result = engine.run(GenericIOStream(cfg["path"], chunk_rows=cfg["chunk_rows"]))
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "n_halos": result.catalog.n_halos,
+        "n_chunks": result.n_chunks,
+        "peak_resident_particles": result.peak_resident_particles,
+        "catalog_sha256": _digest(result.catalog.halo_tags, result.catalog.halo_counts),
+        "mf_sha256": hashlib.sha256(result.mass_function.counts.tobytes()).hexdigest(),
+    }
+
+
+def run_memory(cfg: dict) -> dict:
+    box = GenericIOFile(cfg["path"]).meta["box"]
+    t0 = time.perf_counter()
+    data = read_genericio(cfg["path"])
+    result = fof_grid(
+        np.asarray(data["pos"], dtype=np.float64),
+        cfg["linking_length"],
+        tags=np.asarray(data["tag"], dtype=np.int64),
+        min_count=cfg["min_count"],
+        box=box,
+    )
+    order = np.argsort(result.halo_tags, kind="stable")
+    tags, counts = result.halo_tags[order], result.halo_counts[order]
+    lo, hi, n_bins = cfg["mf_bins"]
+    mf = mass_function(counts, n_bins, lo, hi)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "n_halos": len(tags),
+        "n_chunks": 1,
+        "peak_resident_particles": len(data["tag"]),
+        "catalog_sha256": _digest(tags, counts),
+        "mf_sha256": hashlib.sha256(mf.counts.tobytes()).hexdigest(),
+    }
+
+
+def main() -> None:
+    cfg = json.loads(sys.argv[1])
+    if cfg["mode"] == "make":
+        print(json.dumps(run_make(cfg)))
+        return
+    baseline = sample_memory()  # post-import, pre-data high-water mark
+    out = run_stream(cfg) if cfg["mode"] == "stream" else run_memory(cfg)
+    out["baseline_rss_bytes"] = baseline
+    out["peak_rss_bytes"] = sample_memory()
+    out["excess_rss_bytes"] = out["peak_rss_bytes"] - baseline
+    print(json.dumps(out))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,192 @@
+"""Streaming engine memory scaling: bounded-RSS one-pass vs in-memory FOF.
+
+The tentpole claim of the streaming engine quantified: at a fixed
+``chunk_rows`` the streamed pass holds O(chunk + ring + groups) resident,
+so its peak RSS stays flat as the snapshot (and therefore the chunk
+count) grows, while the in-memory pipeline's peak grows linearly.  Each
+(mode, size) cell runs in a fresh subprocess (``_stream_worker.py``)
+because ``ru_maxrss`` is a per-process high-water mark.
+
+Three gates, enforced when ``STREAM_BENCH_REQUIRE=1`` (as CI sets):
+
+* **bit-identity** — streamed and in-memory catalog/mass-function
+  digests match at every size (always asserted, not just under the env
+  gate: a wrong answer is never a benchmark configuration issue);
+* **flatness** — streamed peak RSS varies ≤ ±10% across sizes
+  (``STREAM_BENCH_FLATNESS`` overrides);
+* **bounded memory** — streamed *excess* RSS (peak − post-import
+  baseline) ≤ 0.5× the in-memory pass's at the largest size
+  (``STREAM_BENCH_MAX_RSS_RATIO``), and streamed wall ≤ 1.5× in-memory
+  (``STREAM_BENCH_MAX_WALL_RATIO``) on boxes that fit either way.
+
+Results land in ``BENCH_stream.json`` at the repo root (uploaded as a CI
+artifact) plus a rendered table under ``benchmarks/results/``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+import numpy as np
+
+from conftest import save_result
+
+BENCH_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_stream.json")
+)
+WORKER = os.path.join(os.path.dirname(__file__), "_stream_worker.py")
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+CHUNK_ROWS = 32768
+MIN_COUNT = 10
+MF_BINS = (10.0, 1e6, 32)
+
+
+def _sizes() -> list[int]:
+    raw = os.environ.get("STREAM_BENCH_SIZES", "")
+    if raw:
+        return [int(s) for s in raw.split(",")]
+    return [2**18, 2**19, 2**20]
+
+
+def _run_worker(mode, path, chunk_rows=CHUNK_ROWS, ll=0.2, **extra):
+    # everything that touches particle arrays runs in a subprocess: a
+    # forked child inherits the parent's resident pages, so a big array
+    # held here would inflate every later worker's baseline ru_maxrss
+    cfg = {
+        "mode": mode,
+        "path": str(path),
+        "chunk_rows": chunk_rows,
+        "linking_length": ll,
+        "min_count": MIN_COUNT,
+        "mf_bins": list(MF_BINS),
+        **extra,
+    }
+    # pin glibc's mmap threshold: its dynamic adjustment makes RSS
+    # high-water marks vary run to run even on identical allocations
+    env = dict(os.environ, PYTHONPATH=SRC, MALLOC_MMAP_THRESHOLD_="131072")
+    proc = subprocess.run(
+        [sys.executable, WORKER, json.dumps(cfg)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    assert proc.returncode == 0, f"{mode} worker failed:\n{proc.stderr}"
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_stream_scaling(tmp_path):
+    sizes = _sizes()
+    require = os.environ.get("STREAM_BENCH_REQUIRE") == "1"
+    flatness = float(os.environ.get("STREAM_BENCH_FLATNESS", "0.10"))
+    max_rss_ratio = float(os.environ.get("STREAM_BENCH_MAX_RSS_RATIO", "0.5"))
+    max_wall_ratio = float(os.environ.get("STREAM_BENCH_MAX_WALL_RATIO", "1.5"))
+
+    cells = {}
+    for n in sizes:
+        path = tmp_path / f"snap_{n}.gio"
+        made = _run_worker("make", path, n=n, seed=19371115 + n)
+        box, ll = made["box"], 0.2
+        stream = _run_worker("stream", path, ll=ll)
+        memory = _run_worker("memory", path, ll=ll)
+        # exactness is unconditional: the comparison below is only
+        # meaningful on verified-identical catalogs
+        assert stream["catalog_sha256"] == memory["catalog_sha256"], (
+            f"n={n}: streamed catalog differs from in-memory"
+        )
+        assert stream["mf_sha256"] == memory["mf_sha256"]
+        path.unlink()  # free the disk before the next, larger size
+        cells[n] = {
+            "box": box,
+            "linking_length": ll,
+            "n_chunks": stream["n_chunks"],
+            "n_halos": stream["n_halos"],
+            "catalog_sha256": stream["catalog_sha256"],
+            "stream": stream,
+            "memory": memory,
+        }
+
+    largest = sizes[-1]
+    peaks = [cells[n]["stream"]["peak_rss_bytes"] for n in sizes]
+    spread = float((max(peaks) - min(peaks)) / np.mean(peaks))
+    peak_ratio = cells[largest]["stream"]["peak_rss_bytes"] / max(
+        cells[largest]["memory"]["peak_rss_bytes"], 1
+    )
+    rss_ratio = cells[largest]["stream"]["excess_rss_bytes"] / max(
+        cells[largest]["memory"]["excess_rss_bytes"], 1
+    )
+    wall_ratio = max(
+        cells[n]["stream"]["wall_seconds"] / max(cells[n]["memory"]["wall_seconds"], 1e-9)
+        for n in sizes
+    )
+
+    payload = {
+        "benchmark": "stream_scaling",
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "chunk_rows": CHUNK_ROWS,
+        "min_count": MIN_COUNT,
+        "sizes": {str(n): cells[n] for n in sizes},
+        "gates": {
+            "enforced": require,
+            "peak_rss_spread": spread,
+            "max_peak_rss_spread": flatness,
+            "peak_rss_ratio_at_largest": peak_ratio,
+            "excess_rss_ratio_at_largest": rss_ratio,
+            "max_excess_rss_ratio": max_rss_ratio,
+            "worst_wall_ratio": wall_ratio,
+            "max_wall_ratio": max_wall_ratio,
+            "passed": (
+                spread <= flatness
+                and peak_ratio <= max_rss_ratio
+                and rss_ratio <= max_rss_ratio
+                and wall_ratio <= max_wall_ratio
+            ),
+        },
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+
+    mib = 1 / (1024 * 1024)
+    lines = [
+        f"Streaming vs in-memory FOF (chunk_rows={CHUNK_ROWS}, "
+        f"bit-identical catalogs at every size)"
+    ]
+    for n in sizes:
+        c = cells[n]
+        lines.append(
+            f"  n=2^{int(np.log2(n))} ({c['n_chunks']:3d} chunks, "
+            f"{c['n_halos']:5d} halos): "
+            f"stream peak {c['stream']['peak_rss_bytes'] * mib:6.1f} MiB "
+            f"(excess {c['stream']['excess_rss_bytes'] * mib:6.1f}) "
+            f"wall {c['stream']['wall_seconds']:6.2f} s | "
+            f"memory peak {c['memory']['peak_rss_bytes'] * mib:6.1f} MiB "
+            f"(excess {c['memory']['excess_rss_bytes'] * mib:6.1f}) "
+            f"wall {c['memory']['wall_seconds']:6.2f} s"
+        )
+    lines.append(
+        f"  stream peak-RSS spread {spread:.1%} (gate ±{flatness:.0%}) | "
+        f"peak ratio @ largest {peak_ratio:.2f}x, excess ratio "
+        f"{rss_ratio:.2f}x (gate ≤{max_rss_ratio}) | "
+        f"worst wall ratio {wall_ratio:.2f}x (gate ≤{max_wall_ratio}) | "
+        f"enforced={require}"
+    )
+    save_result("stream_scaling", "\n".join(lines))
+
+    if require:
+        assert spread <= flatness, (
+            f"streamed peak RSS not flat: spread {spread:.1%} > ±{flatness:.0%}"
+        )
+        assert peak_ratio <= max_rss_ratio, (
+            f"streamed peak RSS {peak_ratio:.2f}x of in-memory at n={largest} "
+            f"(gate ≤{max_rss_ratio}x)"
+        )
+        assert rss_ratio <= max_rss_ratio, (
+            f"streamed excess RSS {rss_ratio:.2f}x of in-memory at n={largest} "
+            f"(gate ≤{max_rss_ratio}x)"
+        )
+        assert wall_ratio <= max_wall_ratio, (
+            f"streamed wall {wall_ratio:.2f}x of in-memory (gate ≤{max_wall_ratio}x)"
+        )

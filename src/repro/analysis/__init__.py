@@ -35,7 +35,7 @@ from .so import SOResult, so_mass, so_masses, so_masses_indexed
 from .spatial_index import PeriodicCellIndex
 from .sph import cubic_spline_kernel, knn_neighbors, sph_density, tophat_density
 from .subhalos import DEFAULT_MIN_SUBHALO, SubhaloResult, find_subhalos, unbind_particles
-from .union_find import DisjointSet
+from .union_find import DisjointSet, GrowableDisjointSet
 
 __all__ = [
     "BarnesHutTree",
@@ -77,4 +77,5 @@ __all__ = [
     "find_subhalos",
     "unbind_particles",
     "DisjointSet",
+    "GrowableDisjointSet",
 ]

@@ -17,7 +17,30 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["MassFunction", "mass_function", "split_by_threshold", "scale_counts"]
+__all__ = [
+    "MassFunction",
+    "log_bin_edges",
+    "mass_function",
+    "split_by_threshold",
+    "scale_counts",
+]
+
+
+def log_bin_edges(lo: float, hi: float, n_bins: int) -> np.ndarray:
+    """Log-spaced bin edges with the boundary edges pinned exactly.
+
+    ``10**log10(x)`` can land one ulp off, silently dropping the
+    extremal halos from the histogram; pinning ``edges[0]``/``edges[-1]``
+    makes the edge array a pure function of ``(lo, hi, n_bins)`` — the
+    property the streaming accumulator relies on to fold per-chunk
+    histograms that are bit-identical to the one-shot result.
+    """
+    if not 0 < lo < hi:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    edges = np.logspace(np.log10(lo), np.log10(hi), n_bins + 1)
+    edges[0] = lo
+    edges[-1] = hi
+    return edges
 
 
 @dataclass(frozen=True)
@@ -52,11 +75,7 @@ def mass_function(
         lo = float(halo_counts.min())
     if hi is None:
         hi = float(halo_counts.max()) * 1.0001
-    edges = np.logspace(np.log10(lo), np.log10(hi), n_bins + 1)
-    # pin the boundary edges exactly: 10**log10(x) can land one ulp off,
-    # silently dropping the extremal halos from the histogram
-    edges[0] = lo
-    edges[-1] = hi
+    edges = log_bin_edges(lo, hi, n_bins)
     counts, _ = np.histogram(halo_counts, bins=edges)
     return MassFunction(bin_edges=edges, counts=counts.astype(np.int64))
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..sim.pm import cic_deposit
 
-__all__ = ["PowerSpectrumResult", "measure_power_spectrum"]
+__all__ = ["PowerSpectrumResult", "measure_power_spectrum", "power_spectrum_from_delta"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,39 @@ def measure_power_spectrum(
     if n_particles == 0:
         raise ValueError("no particles")
     delta = cic_deposit(pos / (box / ng), ng)
+    return power_spectrum_from_delta(
+        delta,
+        box,
+        ng,
+        n_particles,
+        n_bins=n_bins,
+        deconvolve_cic=deconvolve_cic,
+        subtract_shot_noise=subtract_shot_noise,
+    )
+
+
+def power_spectrum_from_delta(
+    delta: np.ndarray,
+    box: float,
+    ng: int,
+    n_particles: int,
+    n_bins: int | None = None,
+    deconvolve_cic: bool = True,
+    subtract_shot_noise: bool = True,
+) -> PowerSpectrumResult:
+    """Measure P(k) from an already-deposited CIC overdensity mesh.
+
+    The back half of :func:`measure_power_spectrum`, split out so
+    callers that build ``delta`` incrementally — the one-pass streaming
+    accumulator folds raw CIC mass chunk by chunk and normalizes once —
+    share the exact FFT / deconvolution / binning sequence with the
+    in-memory path.  ``n_particles`` sets the shot-noise level.
+    """
+    delta = np.asarray(delta, dtype=np.float64)
+    if delta.shape != (ng, ng, ng):
+        raise ValueError(f"delta shape {delta.shape} != ({ng}, {ng}, {ng})")
+    if n_particles <= 0:
+        raise ValueError("no particles")
     dk = np.fft.rfftn(delta)
 
     kf = 2.0 * np.pi / box

@@ -314,6 +314,7 @@ class WallClockInKernel(Rule):
         "dataparallel",
         "parallel",
         "io",
+        "streaming",
         "sim/pmsolver.py",
         "insitu/spatial.py",
     )

@@ -38,6 +38,7 @@ Site                   Hop
 ``storage.read``       ``StorageDevice.read_seconds``
 ``io.write``           :func:`repro.io.genericio.write_genericio`
 ``io.read``            :meth:`repro.io.genericio.GenericIOFile.read_block`
+``stream.read``        one chunk hand-off in a :mod:`repro.streaming` stream
 ``exec.item``          one work item inside a :mod:`repro.exec` worker
 =====================  ======================================================
 """
@@ -79,6 +80,7 @@ KNOWN_SITES: tuple[str, ...] = (
     "storage.read",
     "io.write",
     "io.read",
+    "stream.read",
     "exec.item",
 )
 

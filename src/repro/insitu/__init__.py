@@ -16,6 +16,7 @@ from .algorithms import (
     Level2WriterAlgorithm,
     PowerSpectrumAlgorithm,
     SOMassAlgorithm,
+    StreamingPreviewAlgorithm,
     SubhaloFinderAlgorithm,
     tag_index_map,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "Level2WriterAlgorithm",
     "PowerSpectrumAlgorithm",
     "SOMassAlgorithm",
+    "StreamingPreviewAlgorithm",
     "SubhaloFinderAlgorithm",
     "tag_index_map",
     "CosmoToolsConfig",

@@ -47,6 +47,7 @@ __all__ = [
     "Level2WriterAlgorithm",
     "PowerSpectrumAlgorithm",
     "SOMassAlgorithm",
+    "StreamingPreviewAlgorithm",
     "SubhaloFinderAlgorithm",
     "tag_index_map",
 ]
@@ -592,6 +593,73 @@ class Level2StageAlgorithm(Level2WriterAlgorithm):
         context.timings["level2_stage_seconds"] = time.perf_counter() - t0
 
 
+class StreamingPreviewAlgorithm(_Scheduled):
+    """Cheap preview-tier analysis via the one-pass streaming engine.
+
+    The co-scheduling motivation (arXiv:2208.09190): many concurrent
+    campaigns can afford a bounded-memory preview of every snapshot
+    even when the full in-memory chain cannot be scheduled.  Runs
+    :class:`~repro.streaming.engine.StreamingAnalysis` over a
+    slab-ordered chunk view of the live particle snapshot and stores a
+    compact summary — halo catalog, one-pass mass function, heavy-hitter
+    halo masses — under ``"streaming_preview"``.
+
+    Parameters: ``linking_length``/``linking_length_factor`` and
+    ``min_count`` as for the halo finder; ``chunk_rows`` bounds resident
+    state; ``mass_function_bins`` is the fixed ``(lo, hi, n_bins)``
+    triple one-pass binning requires; ``heavy_hitter_k`` the sketch
+    budget; ``prefetch_depth`` the read-ahead window (0 = synchronous).
+    """
+
+    name = "streaming_preview"
+    linking_length: float | None = None
+    linking_length_factor: float = 0.2
+    min_count: int = 40
+    chunk_rows: int = 16384
+    mass_function_bins: tuple[float, float, int] | None = None
+    heavy_hitter_k: int = 16
+    prefetch_depth: int = 1
+
+    def execute(self, sim: Any, context: AnalysisContext) -> None:
+        # local import: repro.streaming pulls repro.io, which this
+        # module's writers already import lazily at call level elsewhere
+        from ..streaming.engine import StreamingAnalysis
+        from ..streaming.stream import ArrayStream
+
+        box = float(sim.config.box)
+        mean_sep = box / sim.config.np_per_dim
+        ll = self.linking_length if self.linking_length else self.linking_length_factor * mean_sep
+        bins = self.mass_function_bins
+        if bins is None:
+            bins = (float(self.min_count), float(sim.config.np_per_dim**3), 32)
+        stream = ArrayStream(
+            np.asarray(sim.particles.pos, dtype=np.float64),
+            box=box,
+            tags=np.asarray(sim.particles.tag, dtype=np.int64),
+            chunk_rows=self.chunk_rows,
+        )
+        t0 = time.perf_counter()
+        engine = StreamingAnalysis(
+            linking_length=ll,
+            min_count=self.min_count,
+            mass_function_bins=bins,
+            heavy_hitter_k=self.heavy_hitter_k,
+            prefetch_depth=self.prefetch_depth,
+        )
+        result = engine.run(stream)
+        context.store["streaming_preview"] = {
+            "halo_tags": result.catalog.halo_tags,
+            "halo_counts": result.catalog.halo_counts,
+            "n_halos": result.catalog.n_halos,
+            "mass_function": result.mass_function,
+            "heavy_hitters": result.heavy_hitters,
+            "linking_length": ll,
+            "n_chunks": result.n_chunks,
+            "peak_resident_particles": result.peak_resident_particles,
+        }
+        context.timings["streaming_preview_seconds"] = time.perf_counter() - t0
+
+
 #: Config-section name -> algorithm class (used by
 #: :meth:`repro.insitu.config.CosmoToolsConfig.build_manager`).
 ALGORITHM_REGISTRY: dict[str, type[InSituAlgorithm]] = {
@@ -603,4 +671,5 @@ ALGORITHM_REGISTRY: dict[str, type[InSituAlgorithm]] = {
     "level1_writer": Level1WriterAlgorithm,
     "level2_writer": Level2WriterAlgorithm,
     "level2_stager": Level2StageAlgorithm,
+    "streaming_preview": StreamingPreviewAlgorithm,
 }

@@ -68,6 +68,7 @@ def write_genericio(
     path: str | os.PathLike,
     blocks: list[dict[str, np.ndarray]],
     retry: RetryPolicy | None = None,
+    meta: dict | None = None,
 ) -> int:
     """Write ``blocks`` (one dict of equal-length arrays per rank) to ``path``.
 
@@ -75,6 +76,9 @@ def write_genericio(
     number of payload bytes written (used by the I/O cost accounting).
     The physical write runs under ``retry`` (``None`` → the tree-wide
     default) at the ``"io.write"`` fault site; re-writing is idempotent.
+    ``meta`` is an optional JSON-serializable dict stored in the header
+    (physical parameters like the box side, slab ordering flags) and
+    exposed as :attr:`GenericIOFile.meta`.
     """
     if not blocks:
         raise ValueError("need at least one block")
@@ -105,6 +109,8 @@ def write_genericio(
         index.append(entry)
 
     header = {"schema": schema, "blocks": index}
+    if meta:
+        header["meta"] = meta
     header_json = json.dumps(header).encode()
 
     # Assign offsets now that the header size is known.
@@ -114,7 +120,7 @@ def write_genericio(
         for name in names:
             entry["vars"][name]["offset"] = offset
             offset += entry["vars"][name]["nbytes"]
-    header_json = json.dumps({"schema": schema, "blocks": index}).encode()
+    header_json = json.dumps(header).encode()
     # Header length may change once offsets are embedded; fix point it.
     while True:
         base = len(MAGIC) + 8 + len(header_json)
@@ -126,7 +132,7 @@ def write_genericio(
                     entry["vars"][name]["offset"] = offset
                     changed = True
                 offset += entry["vars"][name]["nbytes"]
-        header_json = json.dumps({"schema": schema, "blocks": index}).encode()
+        header_json = json.dumps(header).encode()
         if not changed:
             break
 
@@ -161,9 +167,22 @@ class GenericIOFile:
     Block reads run under ``retry`` (``None`` → the tree-wide default)
     at the ``"io.read"`` fault site; injected faults and ``OSError``
     are retried, :class:`GenericIOError` (corruption) is not.
+
+    CRC validation is *lazy* by default: opening the file parses only
+    the header, and each block's checksums are verified when that block
+    is first read — a chunked reader never pays full-file checksum cost
+    up front.  Pass ``verify="eager"`` to restore whole-file validation
+    at open (every section CRC checked before the constructor returns).
     """
 
-    def __init__(self, path: str | os.PathLike, retry: RetryPolicy | None = None):
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        retry: RetryPolicy | None = None,
+        verify: str = "lazy",
+    ):
+        if verify not in ("lazy", "eager"):
+            raise ValueError(f"verify must be 'lazy' or 'eager', got {verify!r}")
         self.path = os.fspath(path)
         self.retry = resolve_retry(retry)
         with open(self.path, "rb") as fh:
@@ -174,6 +193,9 @@ class GenericIOFile:
             header = json.loads(fh.read(hlen).decode())
         self.schema: list[tuple[str, str]] = [tuple(s) for s in header["schema"]]
         self._blocks = header["blocks"]
+        self.meta: dict = header.get("meta", {})
+        if verify == "eager":
+            self._verify_all()
 
     @property
     def num_blocks(self) -> int:
@@ -187,14 +209,46 @@ class GenericIOFile:
         """Row count of one block without reading its data."""
         return int(self._blocks[block]["nrows"])
 
-    def read_block(self, block: int, verify: bool = True) -> dict[str, np.ndarray]:
+    @property
+    def total_rows(self) -> int:
+        """Total row count across all blocks (header only, no data read)."""
+        return sum(int(entry["nrows"]) for entry in self._blocks)
+
+    def _verify_all(self) -> None:
+        """Eager open-time validation: CRC-check every section once."""
+        with get_recorder().span("io.verify", path=self.path, blocks=self.num_blocks):
+            for block in range(self.num_blocks):
+                entry = self._blocks[block]
+                with open(self.path, "rb") as fh:
+                    for name, _ in self.schema:
+                        var = entry["vars"][name]
+                        fh.seek(var["offset"])
+                        raw = fh.read(var["nbytes"])
+                        if len(raw) != var["nbytes"]:
+                            raise GenericIOError(
+                                f"{self.path} block {block} var {name}: truncated"
+                            )
+                        if (zlib.crc32(raw) & 0xFFFFFFFF) != var["crc"]:
+                            raise GenericIOError(
+                                f"{self.path} block {block} var {name}: CRC mismatch"
+                            )
+
+    def read_block(
+        self,
+        block: int,
+        verify: bool = True,
+        variables: list[str] | None = None,
+    ) -> dict[str, np.ndarray]:
         """Read one block, optionally verifying per-variable CRC32.
 
-        The physical read is retried on injected faults / ``OSError``;
-        a CRC mismatch raises :class:`GenericIOError` immediately.
+        ``variables`` restricts the read to a subset of columns (schema
+        order); the default reads every variable.  The physical read is
+        retried on injected faults / ``OSError``; a CRC mismatch raises
+        :class:`GenericIOError` immediately.
         """
         if not 0 <= block < self.num_blocks:
             raise IndexError(f"block {block} out of range [0, {self.num_blocks})")
+        names = self._select(variables)
         key = f"{os.path.basename(self.path)}:{block}"
         rec = get_recorder()
         with rec.span("io.read_block", path=self.path, block=block):
@@ -203,6 +257,7 @@ class GenericIOFile:
                 block,
                 verify,
                 key,
+                names,
                 site="io.read",
                 key=key,
                 retryable=(FaultInjected, OSError),
@@ -211,8 +266,19 @@ class GenericIOFile:
         rec.counter("io_blocks_read_total").inc()
         return out
 
+    def _select(self, variables: list[str] | None) -> list[tuple[str, str]]:
+        """Schema entries for a requested variable subset (schema order)."""
+        if variables is None:
+            return self.schema
+        known = dict(self.schema)
+        missing = [v for v in variables if v not in known]
+        if missing:
+            raise KeyError(f"{self.path}: unknown variables {missing}")
+        want = set(variables)
+        return [(name, dtok) for name, dtok in self.schema if name in want]
+
     def _read_block_attempt(
-        self, block: int, verify: bool, key: str
+        self, block: int, verify: bool, key: str, names: list[tuple[str, str]]
     ) -> tuple[dict[str, np.ndarray], int]:
         """One physical block read (the unit the retry policy repeats)."""
         maybe_inject("io.read", key)
@@ -220,7 +286,7 @@ class GenericIOFile:
         out: dict[str, np.ndarray] = {}
         nbytes = 0
         with open(self.path, "rb") as fh:
-            for name, dtok in self.schema:
+            for name, dtok in names:
                 var = entry["vars"][name]
                 fh.seek(var["offset"])
                 raw = fh.read(var["nbytes"])
@@ -234,6 +300,56 @@ class GenericIOFile:
                 out[name] = arr.reshape(var["shape"])
                 nbytes += var["nbytes"]
         return out, nbytes
+
+    def iter_chunks(
+        self,
+        chunk_rows: int,
+        variables: list[str] | None = None,
+        verify: bool = True,
+    ):
+        """Iterate fixed-size row chunks across block boundaries.
+
+        Yields dicts of arrays with exactly ``chunk_rows`` rows each
+        (the final chunk may be shorter).  Blocks are read — and their
+        CRCs checked — one at a time as the iteration reaches them, so
+        peak memory is O(chunk + one block) regardless of file size.
+        """
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        names = [name for name, _ in self._select(variables)]
+        pending: dict[str, list[np.ndarray]] = {name: [] for name in names}
+        buffered = 0
+
+        def take(count: int) -> dict[str, np.ndarray]:
+            nonlocal buffered
+            out: dict[str, np.ndarray] = {}
+            for name in names:
+                parts: list[np.ndarray] = []
+                need = count
+                queue = pending[name]
+                while need > 0:
+                    head = queue[0]
+                    if len(head) <= need:
+                        parts.append(queue.pop(0))
+                        need -= len(head)
+                    else:
+                        parts.append(head[:need])
+                        queue[0] = head[need:]
+                        need = 0
+                out[name] = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            buffered -= count
+            return out
+
+        for block in range(self.num_blocks):
+            data = self.read_block(block, verify=verify, variables=variables)
+            nrows = self.block_rows(block)
+            for name in names:
+                pending[name].append(data[name])
+            buffered += nrows
+            while buffered >= chunk_rows:
+                yield take(chunk_rows)
+        if buffered:
+            yield take(buffered)
 
     def read_all(self, verify: bool = True) -> dict[str, np.ndarray]:
         """Concatenate every block into one bundle (rank order)."""

@@ -30,7 +30,15 @@ from .context import TraceContext, current_trace_context, export_snapshot, merge
 from .events import Event, EventLog, JsonlSink, read_jsonl
 from .journal import JournalView, RunJournal, RunManifest, read_journal
 from .live import follow_journal
-from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    DEFAULT_BUCKETS,
+    PEAK_RSS_GAUGE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    sample_memory,
+)
 from .recorder import (
     SPILL_CAPACITY,
     NullRecorder,
@@ -59,6 +67,7 @@ __all__ = [
     "MachineTimeline",
     "MetricsRegistry",
     "NullRecorder",
+    "PEAK_RSS_GAUGE",
     "PhaseStat",
     "RunJournal",
     "RunManifest",
@@ -80,6 +89,7 @@ __all__ = [
     "phase_of",
     "read_journal",
     "read_jsonl",
+    "sample_memory",
     "set_recorder",
     "telemetry",
     "timed",

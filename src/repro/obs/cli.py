@@ -57,11 +57,12 @@ RACY_COUNTERS = frozenset(
     {"exec_steals_total", "listener_polls_total", "exec_pool_reuse_total"}
 )
 
-#: Timing metrics measuring the scheduler itself (dispatch latency is
-#: microseconds-scale and swings orders of magnitude between a freshly
-#: forked pool and a warm-idle one) — excluded from ``diff`` drift
+#: Metrics measuring the host rather than the science — scheduler
+#: dispatch latency (microseconds-scale, swings orders of magnitude
+#: between a freshly forked pool and a warm-idle one) and process RSS
+#: (allocator/environment dependent) — excluded from ``diff`` drift
 #: comparison; science timings (kernel seconds) stay compared.
-RACY_TIMING_PREFIXES = ("exec_dispatch_overhead_seconds",)
+RACY_TIMING_PREFIXES = ("exec_dispatch_overhead_seconds", "process_peak_rss_bytes")
 
 #: Span/event names whose *count* depends on thread timing (poll loops).
 RACY_NAMES = frozenset(
@@ -197,6 +198,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"NOTE: {view.corrupt} unparseable interior line(s) skipped")
     print()
     print(rt.phase_table())
+    memory = rt.memory_stats()
+    if memory:
+        mib = memory["process_peak_rss_bytes"] / (1024.0 * 1024.0)
+        print()
+        print(f"peak RSS: {mib:.1f} MiB (process_peak_rss_bytes)")
     failures = rt.failure_table()
     if failures:
         print()

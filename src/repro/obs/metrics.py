@@ -16,10 +16,24 @@ from __future__ import annotations
 
 import bisect
 import math
+import resource
+import sys
 import threading
 from typing import Any, Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "PEAK_RSS_GAUGE",
+    "sample_memory",
+]
+
+#: Gauge name :func:`sample_memory` updates (bytes; the ``max`` watermark
+#: is the process-lifetime peak).
+PEAK_RSS_GAUGE = "process_peak_rss_bytes"
 
 #: Default histogram upper bounds (seconds-oriented, log-ish spacing).
 DEFAULT_BUCKETS: tuple[float, ...] = (
@@ -253,6 +267,31 @@ class Histogram:
             mean = float(state.get("sum", 0.0)) / n
             for _ in range(n):
                 self.observe(mean)
+
+
+def sample_memory(registry: "MetricsRegistry | None" = None) -> int:
+    """Record the process peak RSS into ``process_peak_rss_bytes``.
+
+    Reads ``ru_maxrss`` (kibibytes on Linux, bytes on macOS), converts
+    to bytes, and sets the gauge on ``registry`` (default: the active
+    recorder's registry).  Cheap enough to call per chunk/step; because
+    ``ru_maxrss`` is the kernel's high-water mark the gauge — and its
+    ``max`` watermark — is monotone within one process.  Returns the
+    sampled peak in bytes.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1 if sys.platform == "darwin" else 1024
+    peak_bytes = int(peak) * scale
+    help_text = "process peak resident set size (ru_maxrss), bytes"
+    if registry is None:
+        from .recorder import get_recorder
+
+        # goes through the recorder facade so a disabled telemetry layer
+        # stays a cached no-op (NullRecorder has no registry)
+        get_recorder().gauge(PEAK_RSS_GAUGE, help=help_text).set(peak_bytes)
+    else:
+        registry.gauge(PEAK_RSS_GAUGE, help=help_text).set(peak_bytes)
+    return peak_bytes
 
 
 def _fmt(v: float) -> str:

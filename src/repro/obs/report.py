@@ -37,6 +37,7 @@ PHASE_RULES: tuple[tuple[str, str], ...] = (
     ("offline.", "Off-line analysis"),
     ("listener.", "Listener"),
     ("staging.", "Staging"),
+    ("stream.", "Streaming"),
     ("io.", "I/O"),
     ("exec.", "Parallel exec"),
     ("scheduler.", "Scheduler"),
@@ -234,6 +235,16 @@ class RunTelemetry:
             run = f" [{self.run_id}]" if self.run_id else ""
             title = f"Per-run phase breakdown{run} — wall {wall:.3f} s"
         return _render_table(headers, rows, title=title)
+
+    def memory_stats(self) -> dict[str, float]:
+        """Memory gauges sampled into this run (empty if never sampled).
+
+        ``process_peak_rss_bytes`` appears when anything called
+        :func:`repro.obs.sample_memory` during the run (the streaming
+        engine samples per chunk).
+        """
+        peak = self.metrics.get("process_peak_rss_bytes")
+        return {"process_peak_rss_bytes": peak} if peak else {}
 
     def failure_stats(self) -> dict[str, float]:
         """Non-zero failure/resilience counters for this run.

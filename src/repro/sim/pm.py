@@ -23,7 +23,12 @@ __all__ = [
 ]
 
 
-def cic_deposit(pos_grid: np.ndarray, ng: int, weights: np.ndarray | None = None) -> np.ndarray:
+def cic_deposit(
+    pos_grid: np.ndarray,
+    ng: int,
+    weights: np.ndarray | None = None,
+    normalize: bool = True,
+) -> np.ndarray:
     """Cloud-in-cell mass deposit onto a periodic ``ng^3`` mesh.
 
     Parameters
@@ -34,10 +39,17 @@ def cic_deposit(pos_grid: np.ndarray, ng: int, weights: np.ndarray | None = None
         Mesh size per dimension.
     weights:
         Optional per-particle masses (default 1).
+    normalize:
+        When true (default) return the zero-mean overdensity
+        ``delta = rho/rho_bar - 1``.  When false return the *raw* mass
+        mesh — additive across particle subsets, which is what one-pass
+        streaming accumulation folds chunk by chunk before normalizing
+        once at the end.
 
     Returns
     -------
-    The overdensity field ``delta`` with zero mean.
+    The overdensity field ``delta`` with zero mean (or the raw mass
+    mesh when ``normalize=False``).
     """
     pos = np.mod(np.asarray(pos_grid, dtype=np.float64), ng)
     n = len(pos)
@@ -63,6 +75,8 @@ def cic_deposit(pos_grid: np.ndarray, ng: int, weights: np.ndarray | None = None
             for c in (0, 1):
                 np.add.at(rho, (ix[a], iy[b], iz[c]), w * wx[a] * wy[b] * wz[c])
 
+    if not normalize:
+        return rho
     mean = w.sum() / ng**3
     rho /= mean
     rho -= 1.0

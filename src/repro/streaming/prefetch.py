@@ -1,0 +1,91 @@
+"""Double-buffered chunk prefetch: overlap chunk *i+1*'s IO with *i*'s linking.
+
+The same single-worker idiom as
+:class:`~repro.insitu.pipeline.AsyncInSituManager`: one dedicated thread
+keeps a bounded window of read-ahead futures, so the consumer's linking
+work for chunk *i* overlaps the worker's read + CRC of chunk *i+1*.
+A window of ``depth`` chunks bounds memory to ``depth + 1`` chunks
+regardless of how far the reader could run ahead; chunk order — and
+therefore every downstream result — is unchanged because a single
+worker drains the underlying iterator sequentially.
+
+Reader-side exceptions (torn files, exhausted retries) surface in the
+consumer at the position where the chunk would have been yielded, which
+keeps the fault-injection recovery semantics of the plain stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator
+
+from ..obs import get_recorder, timed
+from .stream import Chunk, ParticleStream
+
+__all__ = ["PrefetchStream"]
+
+#: Unique end-of-stream marker shipped through the future window.
+_DONE = object()
+
+
+class PrefetchStream:
+    """Wrap any :class:`ParticleStream` with background read-ahead.
+
+    Presents the same stream protocol (``box``, ``chunk_rows``,
+    ``n_total``, iteration) so the engine treats prefetched and plain
+    sources identically.  Each ``__iter__`` call owns a fresh worker and
+    window, so the wrapper stays re-iterable when the source is.
+    """
+
+    def __init__(self, stream: ParticleStream, depth: int = 1):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.stream = stream
+        self.depth = int(depth)
+        self.box = stream.box
+        self.chunk_rows = stream.chunk_rows
+
+    @property
+    def n_total(self) -> int | None:
+        return self.stream.n_total
+
+    def __iter__(self) -> Iterator[Chunk]:
+        rec = get_recorder()
+        trace = rec.trace_context()
+        source = iter(self.stream)
+
+        def pull() -> object:
+            # worker spans (io.read_block, stream.read retries) parent
+            # under the submitting step, on the worker's timeline lane
+            worker_rec = get_recorder()
+            worker_rec.bind_thread(trace)
+            try:
+                return next(source)
+            except StopIteration:
+                return _DONE
+
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="stream-prefetch"
+        )
+        window: deque = deque()
+        try:
+            for _ in range(self.depth):
+                window.append(executor.submit(pull))
+            rec.gauge("stream_prefetch_depth").set(self.depth)
+            while True:
+                with timed(
+                    "stream_prefetch_wait_seconds",
+                    help="consumer stall waiting on the prefetch worker",
+                ):
+                    item = window.popleft().result()
+                if item is _DONE:
+                    break
+                rec.counter("stream_prefetch_chunks_total").inc()
+                window.append(executor.submit(pull))
+                yield item  # type: ignore[misc]
+        finally:
+            # cancel what never started, wait out the in-flight read
+            while window:
+                window.popleft().cancel()
+            executor.shutdown(wait=True)

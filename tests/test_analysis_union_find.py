@@ -1,10 +1,39 @@
 """Disjoint-set forest invariants (+ hypothesis model check)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis import DisjointSet
+from repro.analysis import DisjointSet, GrowableDisjointSet
+
+
+class ReferenceDSU:
+    """The obvious dict-backed recursive union-find.
+
+    Kept as the behavioral reference the array forest is cross-validated
+    against: no rank/size heuristics, no path compression — just the
+    definition of the partition.
+    """
+
+    def __init__(self, n):
+        self.parent = {i: i for i in range(n)}
+
+    def find(self, x):
+        while self.parent[x] != x:
+            x = self.parent[x]
+        return x
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+    def partition(self):
+        groups = {}
+        for i in self.parent:
+            groups.setdefault(self.find(i), []).append(i)
+        return sorted(tuple(sorted(g)) for g in groups.values())
 
 
 def test_initially_all_singletons():
@@ -83,3 +112,107 @@ def test_prop_matches_networkx_components(n, edges):
     # distinct components have distinct labels
     reps = {labels[min(c)] for c in components}
     assert len(reps) == len(components)
+
+
+def _partition_from_labels(labels):
+    groups = {}
+    for i, lab in enumerate(labels):
+        groups.setdefault(int(lab), []).append(i)
+    return sorted(tuple(sorted(g)) for g in groups.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 50),
+    edges=st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)), max_size=100),
+)
+def test_prop_array_forest_matches_reference_dsu(n, edges):
+    """The optimized forest must induce the reference partition exactly."""
+    edges = [(a % n, b % n) for a, b in edges]
+    fast = DisjointSet(n)
+    ref = ReferenceDSU(n)
+    for a, b in edges:
+        fast.union(a, b)
+        ref.union(a, b)
+    assert _partition_from_labels(fast.labels()) == ref.partition()
+    assert fast.n_components == len(ref.partition())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 50),
+    edges=st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)), max_size=100),
+)
+def test_prop_growable_forest_matches_reference_dsu(n, edges):
+    """Growing one element at a time must yield the same partition."""
+    edges = [(a % n, b % n) for a, b in edges]
+    dsu = GrowableDisjointSet(capacity=1)
+    for _ in range(n):
+        dsu.add()
+    ref = ReferenceDSU(n)
+    for a, b in edges:
+        dsu.union(a, b)
+        ref.union(a, b)
+    assert _partition_from_labels(dsu.labels()) == ref.partition()
+    assert len(dsu) == n
+
+
+def test_find_many_matches_scalar_find():
+    dsu = DisjointSet(10)
+    dsu.union_pairs([0, 1, 5, 7], [2, 2, 6, 8])
+    xs = np.array([0, 1, 2, 5, 6, 7, 8, 9])
+    roots = dsu.find_many(xs)
+    assert [dsu.find(int(x)) for x in xs] == roots.tolist()
+    # write-back: queried elements now point straight at their roots
+    assert np.array_equal(dsu.parent[xs], roots)
+
+
+def test_growable_add_returns_first_new_id():
+    dsu = GrowableDisjointSet(capacity=2)
+    assert dsu.add(3) == 0
+    assert dsu.add(2) == 3  # forces a buffer growth past capacity=2
+    assert len(dsu) == 5
+    assert dsu.n_components == 5
+    assert dsu.add(0) == 5  # no-op append is allowed
+    with pytest.raises(ValueError):
+        dsu.add(-1)
+
+
+def test_growable_compact_renumbers_and_remaps():
+    dsu = GrowableDisjointSet()
+    dsu.add(6)
+    dsu.union(0, 1)
+    dsu.union(2, 3)
+    roots = dsu.roots()
+    assert len(roots) == 4
+    # keep the components of 0 and 2; drop 4 and 5
+    keep = np.array([dsu.find(0), dsu.find(2)])
+    old = dsu.compact(keep)
+    assert np.array_equal(old, np.sort(keep))
+    assert len(dsu) == 2
+    assert dsu.n_components == 2
+    # remap contract: new id of an old root is its rank in `old`
+    new_of_0 = np.searchsorted(old, keep[0])
+    new_of_2 = np.searchsorted(old, keep[1])
+    assert sorted([int(new_of_0), int(new_of_2)]) == [0, 1]
+    # survivors are fresh singletons that can union again
+    dsu.union(0, 1)
+    assert dsu.n_components == 1
+
+
+def test_growable_compact_rejects_out_of_range():
+    dsu = GrowableDisjointSet()
+    dsu.add(3)
+    with pytest.raises(IndexError):
+        dsu.compact(np.array([5]))
+    with pytest.raises(IndexError):
+        dsu.compact(np.array([-1]))
+
+
+def test_growable_compact_to_empty():
+    dsu = GrowableDisjointSet()
+    dsu.add(4)
+    dsu.compact(np.empty(0, dtype=np.intp))
+    assert len(dsu) == 0
+    assert dsu.n_components == 0
+    assert dsu.add(2) == 0  # reusable after full compaction

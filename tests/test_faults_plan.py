@@ -220,4 +220,5 @@ def test_fault_plan_context_scopes_and_restores():
 def test_known_sites_cover_the_documented_hops():
     assert "listener.submit" in KNOWN_SITES
     assert "offline.job" in KNOWN_SITES
-    assert len(KNOWN_SITES) == len(set(KNOWN_SITES)) == 10
+    assert "stream.read" in KNOWN_SITES
+    assert len(KNOWN_SITES) == len(set(KNOWN_SITES)) == 11

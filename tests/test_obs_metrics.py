@@ -116,3 +116,20 @@ def test_as_dict_flattens_histograms():
     assert d["h_count"] == 2
     assert d["h_sum"] == pytest.approx(2.0)
     assert d["h_mean"] == pytest.approx(1.0)
+
+
+def test_sample_memory_sets_the_peak_rss_gauge():
+    from repro import obs
+    from repro.obs import PEAK_RSS_GAUGE, sample_memory
+
+    reg = MetricsRegistry()
+    peak = sample_memory(reg)
+    assert peak > 0  # a running interpreter has a nonzero high-water mark
+    gauge = reg.gauge(PEAK_RSS_GAUGE)
+    assert gauge.value == peak
+    # ru_maxrss is a kernel high-water mark: monotone within one process
+    assert sample_memory(reg) >= peak
+    assert PEAK_RSS_GAUGE == "process_peak_rss_bytes"
+    # without a registry it goes through the recorder facade; with the
+    # default NullRecorder that must be a safe no-op
+    assert sample_memory() >= peak

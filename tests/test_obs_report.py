@@ -117,3 +117,25 @@ def test_noop_recorder_overhead_smoke():
     elapsed = time.perf_counter() - t0
     # ~5 no-op calls per iteration; generous bound to stay CI-safe
     assert elapsed < 2.0, f"no-op recorder too slow: {elapsed:.3f}s for {n} iters"
+
+
+def test_stream_spans_classify_as_streaming():
+    assert phase_of("stream.run") == "Streaming"
+    assert phase_of("stream.chunk") == "Streaming"
+
+
+def test_memory_stats_surfaces_the_sampled_peak():
+    from repro.obs import sample_memory
+
+    rec = TelemetryRecorder(run_id="mem")
+    with rec.span("stream.run"):
+        peak = sample_memory(rec.metrics)
+    rt = RunTelemetry.from_recorder(rec)
+    assert rt.memory_stats() == {"process_peak_rss_bytes": peak}
+
+
+def test_memory_stats_empty_when_never_sampled():
+    rec = TelemetryRecorder(run_id="mem-none")
+    with rec.span("sim.step"):
+        pass
+    assert RunTelemetry.from_recorder(rec).memory_stats() == {}

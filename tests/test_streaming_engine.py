@@ -1,0 +1,234 @@
+"""StreamingAnalysis end-to-end: accumulator exactness, determinism, preview."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.analysis import mass_function
+from repro.analysis.fof import fof_grid
+from repro.analysis.power_spectrum import measure_power_spectrum
+from repro.check import check_determinism
+from repro.streaming import (
+    ArrayStream,
+    GenericIOStream,
+    MisraGries,
+    StreamingAnalysis,
+    StreamingMassFunction,
+    StreamingPowerSpectrum,
+    slab_order,
+    write_slab_snapshot,
+)
+
+BOX, LL, MIN_COUNT = 20.0, 0.4, 10
+MF_BINS = (10.0, 1000.0, 16)
+
+
+@pytest.fixture
+def reference(blob_points):
+    tags = np.arange(len(blob_points), dtype=np.int64)
+    ref = fof_grid(np.mod(blob_points, BOX), LL, tags=tags, min_count=MIN_COUNT, box=BOX)
+    order = np.argsort(ref.halo_tags, kind="stable")
+    return ref.halo_tags[order], ref.halo_counts[order]
+
+
+def _engine(**overrides):
+    params = dict(
+        linking_length=LL,
+        min_count=MIN_COUNT,
+        mass_function_bins=MF_BINS,
+        power_spectrum_ng=16,
+        heavy_hitter_k=8,
+    )
+    params.update(overrides)
+    return StreamingAnalysis(**params)
+
+
+def test_full_pass_matches_in_memory_pipeline(tmp_path, blob_points, reference):
+    """The headline exactness gate, through the on-disk path."""
+    ref_tags, ref_counts = reference
+    path = tmp_path / "snap.gio"
+    tags = np.arange(len(blob_points), dtype=np.int64)
+    write_slab_snapshot(path, blob_points, box=BOX, tags=tags, block_rows=500)
+    for chunk_rows in (128, 700, 5000):
+        result = _engine().run(GenericIOStream(path, chunk_rows=chunk_rows))
+        assert np.array_equal(result.catalog.halo_tags, ref_tags)
+        assert np.array_equal(result.catalog.halo_counts, ref_counts)
+        ref_mf = mass_function(ref_counts, MF_BINS[2], MF_BINS[0], MF_BINS[1])
+        assert np.array_equal(result.mass_function.counts, ref_mf.counts)
+        assert np.array_equal(result.mass_function.bin_edges, ref_mf.bin_edges)
+        assert result.n_particles == len(blob_points)
+        assert result.peak_rss_bytes > 0
+
+
+def test_memory_telemetry_flows_through_obs(blob_points):
+    rec = obs.TelemetryRecorder(run_id="stream-run")
+    obs.set_recorder(rec)
+    stream = ArrayStream(blob_points, BOX, chunk_rows=300)
+    result = _engine().run(stream)
+    m = rec.metrics
+    assert m.counter("stream_chunks_total").value == result.n_chunks
+    assert m.counter("stream_particles_total").value == len(blob_points)
+    assert m.counter("stream_halos_retired_total").value == result.catalog.n_halos
+    assert m.gauge("process_peak_rss_bytes").value == result.peak_rss_bytes
+    assert m.counter("stream_prefetch_chunks_total").value == result.n_chunks
+
+
+def test_prefetch_does_not_change_any_result(blob_points):
+    tags = np.arange(len(blob_points), dtype=np.int64)
+    runs = {
+        depth: _engine(prefetch_depth=depth).run(
+            ArrayStream(blob_points, BOX, tags=tags, chunk_rows=256)
+        )
+        for depth in (0, 1, 3)
+    }
+    base = runs[0]
+    for result in (runs[1], runs[3]):
+        assert np.array_equal(result.catalog.halo_tags, base.catalog.halo_tags)
+        assert np.array_equal(result.catalog.halo_counts, base.catalog.halo_counts)
+        assert np.array_equal(result.mass_function.counts, base.mass_function.counts)
+        assert np.array_equal(result.power_spectrum.power, base.power_spectrum.power)
+        assert result.heavy_hitters == base.heavy_hitters
+
+
+def test_streamed_campaign_is_deterministic(tmp_path, blob_points):
+    """check_determinism run-twice over the full disk-to-catalog pass."""
+    path = tmp_path / "snap.gio"
+    write_slab_snapshot(path, blob_points, box=BOX, block_rows=400)
+
+    def campaign():
+        result = _engine().run(GenericIOStream(path, chunk_rows=150))
+        return {
+            "tags": result.catalog.halo_tags,
+            "counts": result.catalog.halo_counts,
+            "mf": result.mass_function.counts,
+            "pk": result.power_spectrum.power,
+            "heavy": result.heavy_hitters,
+        }
+
+    report = check_determinism(campaign, runs=2)
+    assert report.ok
+
+
+# -- power spectrum ------------------------------------------------------------
+
+
+def test_single_chunk_pk_bit_identical_to_sorted_in_memory(blob_points):
+    """One chunk replays the exact op sequence on the slab-sorted order."""
+    spos = np.mod(blob_points, BOX)[slab_order(blob_points, BOX)]
+    ref = measure_power_spectrum(spos, box=BOX, ng=16)
+    acc = StreamingPowerSpectrum(BOX, 16)
+    acc.update(spos)
+    got = acc.finalize()
+    assert np.array_equal(got.power, ref.power)
+    assert np.array_equal(got.k, ref.k)
+
+
+def test_multi_chunk_pk_matches_to_float_reordering(blob_points):
+    ref = measure_power_spectrum(np.mod(blob_points, BOX), box=BOX, ng=16)
+    result = _engine().run(ArrayStream(blob_points, BOX, chunk_rows=137))
+    np.testing.assert_allclose(result.power_spectrum.power, ref.power, rtol=1e-10)
+
+
+# -- Misra–Gries ---------------------------------------------------------------
+
+
+def test_heavy_hitters_find_the_big_blobs(blob_points, reference):
+    ref_tags, ref_counts = reference
+    result = _engine().run(ArrayStream(blob_points, BOX, chunk_rows=256))
+    top = dict(result.heavy_hitters)
+    # every halo heavier than W/(k+1) is guaranteed present
+    threshold = ref_counts.sum() / (8 + 1)
+    for tag, count in zip(ref_tags, ref_counts):
+        if count > threshold:
+            assert tag in top
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(1, 10),
+    weights=st.lists(st.integers(1, 500), min_size=1, max_size=120),
+)
+def test_prop_misra_gries_guarantees(k, weights):
+    """Survival + undercount bounds for arbitrary weighted streams."""
+    sketch = MisraGries(k)
+    true = {}
+    for i, w in enumerate(weights):
+        key = i % max(1, len(weights) // 3)  # repeat keys
+        sketch.offer(key, w)
+        true[key] = true.get(key, 0) + w
+    total = sum(weights)
+    assert sketch.total_weight == total
+    bound = total / (k + 1)
+    assert sketch.error_bound == bound
+    for key, w in true.items():
+        est = sketch.estimate(key)
+        assert est <= w  # never overcounts
+        assert w - est <= bound  # bounded undercount
+        if w > bound:
+            assert est > 0  # heavy keys always survive
+
+
+def test_misra_gries_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        MisraGries(0)
+    with pytest.raises(ValueError):
+        MisraGries(4).offer(1, 0)
+
+
+# -- accumulator edges ---------------------------------------------------------
+
+
+def test_streaming_mass_function_additivity(rng):
+    counts = rng.integers(10, 1000, 200)
+    one_shot = StreamingMassFunction(*MF_BINS)
+    one_shot.update(counts)
+    chunked = StreamingMassFunction(*MF_BINS)
+    for part in np.array_split(counts, 7):
+        chunked.update(part)
+    chunked.update(np.empty(0))  # empty batches are no-ops
+    assert np.array_equal(one_shot.finalize().counts, chunked.finalize().counts)
+    ref = mass_function(counts, MF_BINS[2], MF_BINS[0], MF_BINS[1])
+    assert np.array_equal(one_shot.finalize().counts, ref.counts)
+
+
+def test_streaming_pk_rejects_empty_stream():
+    with pytest.raises(ValueError):
+        StreamingPowerSpectrum(BOX, 16).finalize()
+
+
+def test_engine_validates_prefetch_depth():
+    with pytest.raises(ValueError):
+        StreamingAnalysis(linking_length=0.4, prefetch_depth=-1)
+
+
+# -- in-situ preview tier ------------------------------------------------------
+
+
+def test_streaming_preview_algorithm(mini_sim):
+    from repro.insitu import ALGORITHM_REGISTRY, StreamingPreviewAlgorithm
+    from repro.insitu.algorithm import AnalysisContext
+
+    assert ALGORITHM_REGISTRY["streaming_preview"] is StreamingPreviewAlgorithm
+    alg = StreamingPreviewAlgorithm()
+    alg.set_parameters(min_count=8, chunk_rows=2048, heavy_hitter_k=8)
+    ctx = AnalysisContext(step=10, a=1.0)
+    alg.execute(mini_sim, ctx)
+    preview = ctx.store["streaming_preview"]
+    assert "streaming_preview_seconds" in ctx.timings
+
+    box = float(mini_sim.config.box)
+    ll = 0.2 * box / mini_sim.config.np_per_dim
+    ref = fof_grid(
+        np.mod(np.asarray(mini_sim.particles.pos, dtype=np.float64), box),
+        ll,
+        tags=np.asarray(mini_sim.particles.tag, dtype=np.int64),
+        min_count=8,
+        box=box,
+    )
+    order = np.argsort(ref.halo_tags, kind="stable")
+    assert np.array_equal(preview["halo_tags"], ref.halo_tags[order])
+    assert np.array_equal(preview["halo_counts"], ref.halo_counts[order])
+    assert preview["n_halos"] == len(ref.halo_tags)
+    assert preview["peak_resident_particles"] < mini_sim.config.np_per_dim**3

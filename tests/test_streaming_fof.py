@@ -1,0 +1,182 @@
+"""StreamingFOF exactness: streamed catalogs bit-identical to in-memory FOF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fof import fof_grid
+from repro.streaming import (
+    ArrayStream,
+    GroupForest,
+    StreamedCatalog,
+    StreamingFOF,
+    StreamOrderError,
+    slab_order,
+)
+
+
+def _reference_catalog(pos, tags, box, ll, min_count):
+    """In-memory FOF catalog as sorted ``(tag, count)`` pairs."""
+    ref = fof_grid(np.mod(pos, box), ll, tags=tags, min_count=min_count, box=box)
+    order = np.argsort(ref.halo_tags, kind="stable")
+    return ref.halo_tags[order], ref.halo_counts[order]
+
+
+def _stream_catalog(pos, tags, box, ll, min_count, chunk_rows):
+    fof = StreamingFOF(box, ll, min_count=min_count)
+    for chunk in ArrayStream(pos, box, tags=tags, chunk_rows=chunk_rows):
+        fof.ingest(chunk["pos"], chunk["tag"])
+    return fof.finalize()
+
+
+def _assert_bit_identical(cat: StreamedCatalog, ref_tags, ref_counts):
+    assert np.array_equal(cat.halo_tags, ref_tags)
+    assert np.array_equal(cat.halo_counts, ref_counts)
+
+
+def test_streamed_catalog_matches_in_memory(blob_points):
+    box, ll, min_count = 20.0, 0.4, 10
+    tags = np.arange(len(blob_points), dtype=np.int64)
+    ref_tags, ref_counts = _reference_catalog(blob_points, tags, box, ll, min_count)
+    assert len(ref_tags) >= 5  # the five blobs must actually be found
+    for chunk_rows in (37, 256, 1000, len(blob_points) + 1):
+        cat = _stream_catalog(blob_points, tags, box, ll, min_count, chunk_rows)
+        _assert_bit_identical(cat, ref_tags, ref_counts)
+        assert cat.n_particles == len(blob_points)
+
+
+def test_wrap_straddling_halo_is_exact():
+    """A blob across the periodic x boundary joins head + tail slabs."""
+    rng = np.random.default_rng(42)
+    box = 10.0
+    blob = np.mod(rng.normal([0.0, 5.0, 5.0], 0.15, (300, 3)), box)
+    background = rng.uniform(0, box, (700, 3))
+    pos = np.concatenate([blob, background])
+    tags = np.arange(len(pos), dtype=np.int64)
+    ref_tags, ref_counts = _reference_catalog(pos, tags, box, 0.3, 50)
+    assert len(ref_tags) >= 1
+    for chunk_rows in (50, 128, 333):
+        cat = _stream_catalog(pos, tags, box, 0.3, 50, chunk_rows)
+        _assert_bit_identical(cat, ref_tags, ref_counts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(20, 400),
+    chunk_rows=st.integers(1, 100),
+    box=st.floats(5.0, 50.0),
+    ll_frac=st.floats(0.01, 0.08),
+    min_count=st.integers(1, 8),
+)
+def test_prop_streamed_equals_in_memory(seed, n, chunk_rows, box, ll_frac, min_count):
+    """Bit-identity holds for arbitrary data, chunking, and linking."""
+    rng = np.random.default_rng(seed)
+    # half clustered around a few seeds, half uniform — exercises both
+    # dense components spanning many chunks and isolated singletons
+    n_centers = rng.integers(1, 5)
+    centers = rng.uniform(0, box, (n_centers, 3))
+    clustered = centers[rng.integers(0, n_centers, n // 2)] + rng.normal(
+        0, box * ll_frac, (n // 2, 3)
+    )
+    uniform = rng.uniform(0, box, (n - n // 2, 3))
+    pos = np.mod(np.concatenate([clustered, uniform]), box)
+    tags = rng.permutation(np.arange(10, 10 + n)).astype(np.int64)
+    ll = box * ll_frac
+    ref_tags, ref_counts = _reference_catalog(pos, tags, box, ll, min_count)
+    cat = _stream_catalog(pos, tags, box, ll, min_count, chunk_rows)
+    _assert_bit_identical(cat, ref_tags, ref_counts)
+
+
+def test_retirement_is_incremental(blob_points):
+    """Halos must retire mid-stream, not pile up until finalize."""
+    box, ll = 20.0, 0.4
+    tags = np.arange(len(blob_points), dtype=np.int64)
+    batches = []
+    fof = StreamingFOF(box, ll, min_count=10, on_retire=lambda t, c: batches.append(len(t)))
+    for chunk in ArrayStream(blob_points, box, tags=tags, chunk_rows=200):
+        fof.ingest(chunk["pos"], chunk["tag"])
+    mid_stream = sum(batches)
+    cat = fof.finalize()
+    assert mid_stream > 0  # some halos finished before the end
+    assert sum(batches) == cat.n_halos  # finalize retires the rest via the hook
+
+
+def test_resident_state_is_bounded(blob_points):
+    """Peak resident particles ≪ total for small chunks (the whole point)."""
+    box, ll = 20.0, 0.4
+    tags = np.arange(len(blob_points), dtype=np.int64)
+    fof = StreamingFOF(box, ll, min_count=10)
+    for chunk in ArrayStream(blob_points, box, tags=tags, chunk_rows=100):
+        fof.ingest(chunk["pos"], chunk["tag"])
+    fof.finalize()
+    assert fof.peak_resident < len(blob_points) / 2
+
+
+def test_out_of_order_chunk_rejected():
+    fof = StreamingFOF(10.0, 0.2, min_count=1)
+    fof.ingest(np.array([[5.0, 1.0, 1.0]]), np.array([0]))
+    with pytest.raises(StreamOrderError):
+        fof.ingest(np.array([[1.0, 1.0, 1.0]]), np.array([1]))
+
+
+def test_ingest_after_finalize_rejected():
+    fof = StreamingFOF(10.0, 0.2, min_count=1)
+    fof.finalize()
+    with pytest.raises(RuntimeError):
+        fof.ingest(np.array([[1.0, 1.0, 1.0]]), np.array([0]))
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        StreamingFOF(0.0, 0.2)
+    with pytest.raises(ValueError):
+        StreamingFOF(10.0, 0.0)
+    with pytest.raises(ValueError):
+        StreamingFOF(10.0, 10.0)
+
+
+def test_empty_stream_yields_empty_catalog():
+    fof = StreamingFOF(10.0, 0.2, min_count=1)
+    cat = fof.finalize()
+    assert cat.n_halos == 0
+    assert cat.n_particles == 0
+    # finalize is idempotent
+    assert fof.finalize().n_halos == 0
+
+
+def test_slab_order_is_stable_on_wrapped_x():
+    pos = np.array([[9.9, 0, 0], [-0.5, 0, 0], [0.1, 0, 0], [19.5, 0, 0]], dtype=float)
+    order = slab_order(pos, 10.0)  # wrapped x: 9.9, 9.5, 0.1, 9.5
+    assert order.tolist() == [2, 1, 3, 0]
+
+
+# -- GroupForest ---------------------------------------------------------------
+
+
+def test_group_forest_union_folds_aggregates():
+    forest = GroupForest()
+    a, b = forest.new_groups(2)
+    forest.fold(np.array([a, b]), np.array([5, 7]), np.array([30, 10]))
+    r = forest.union(int(a), int(b))
+    assert forest.counts[r] == 12
+    assert forest.min_tags[r] == 10
+
+
+def test_group_forest_growth_past_initial_capacity():
+    forest = GroupForest()
+    ids = forest.new_groups(50)  # initial buffers hold 16
+    assert len(forest) == 50
+    forest.fold(ids, np.ones(50, dtype=np.int64), np.arange(50, dtype=np.int64))
+    assert forest.counts[:50].sum() == 50
+
+
+def test_group_forest_compact_gathers_by_sorted_old_root():
+    forest = GroupForest()
+    ids = forest.new_groups(4)
+    forest.fold(ids, np.array([1, 2, 3, 4]), np.array([40, 30, 20, 10]))
+    old = forest.compact(np.array([ids[3], ids[1]]))
+    assert old.tolist() == [ids[1], ids[3]]
+    assert forest.counts[:2].tolist() == [2, 4]
+    assert forest.min_tags[:2].tolist() == [30, 10]
