@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Campaign-service demo: submit, hard-kill a worker, resume, compare.
+
+The end-to-end drill from ``docs/service.md``, run twice side by side:
+
+1. two campaigns (seeded center-finding jobs + a noop batch) are
+   submitted into two fresh stores — ``survivor`` and ``control``;
+2. the ``survivor`` store's worker is started in a **subprocess** armed
+   with ``--crash-after N`` and hard-killed (``os._exit(2)``)
+   mid-lifecycle, stranding jobs between journaled transitions;
+3. ``resume`` rolls the stranded jobs back and a fresh worker finishes
+   the campaign;
+4. the ``control`` store runs uninterrupted;
+5. the two stores' fingerprints (spec + state + results, timing
+   projected away) must be **bit-identical** — the property the durable
+   journal + enforced state machine exist to provide.
+
+CI runs this on every push (the ``service`` job) and archives the
+survivor store; replay it anywhere with
+``python -m repro.service status <dir>``.
+
+Usage::
+
+    python examples/campaign_service.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.service import CampaignStore, JobSpec, ServiceWorker
+from repro.service.cli import main as service_cli
+
+#: transitions before the drill kill: 2 finished jobs (6 edges each) +
+#: 3 edges into the third job — it dies stranded in RUNNING
+CRASH_AFTER = 15
+
+
+def submit_demo_campaigns(root: str) -> None:
+    with CampaignStore.create(root, seed=7) as store:
+        store.submit_campaign(
+            "centers",
+            [
+                JobSpec(
+                    name=f"centers-{i:02d}",
+                    kind="synthetic_centers",
+                    params={"seed": 7000 + i},
+                    wall_estimate=40.0 + 10.0 * (i % 3),
+                )
+                for i in range(5)
+            ],
+            seed=7,
+        )
+        store.submit_campaign(
+            "noops",
+            [JobSpec(name=f"noop-{i}", kind="noop", params={"i": i}) for i in range(3)],
+            seed=7,
+        )
+
+
+def run_worker_subprocess(root: str, crash_after: int | None) -> int:
+    """A real worker process — the thing we get to kill."""
+    argv = [sys.executable, "-m", "repro.service", "work", root]
+    if crash_after is not None:
+        argv += ["--crash-after", str(crash_after)]
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = (
+        os.path.join(src, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    return subprocess.run(argv, env=env, timeout=300).returncode
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="repro_service_")
+    survivor = os.path.join(workdir, "survivor")
+    control = os.path.join(workdir, "control")
+
+    print("== submit: two campaigns into two identical stores ==")
+    submit_demo_campaigns(survivor)
+    submit_demo_campaigns(control)
+    service_cli(["status", survivor])
+
+    print(f"\n== drill: worker hard-killed after {CRASH_AFTER} transitions ==")
+    code = run_worker_subprocess(survivor, CRASH_AFTER)
+    print(f"worker exit code: {code} (expected {ServiceWorker.CRASH_EXIT_CODE})")
+    assert code == ServiceWorker.CRASH_EXIT_CODE, "drill kill did not fire"
+    service_cli(["status", survivor])
+
+    print("\n== resume: roll back stranded jobs, finish the campaign ==")
+    assert service_cli(["resume", survivor]) == 0
+
+    print("\n== control: the same campaigns, uninterrupted ==")
+    assert run_worker_subprocess(control, None) == 0
+
+    print("\n== verdict ==")
+    with CampaignStore.open(survivor) as a, CampaignStore.open(control) as b:
+        assert a.done and b.done, "campaigns did not complete"
+        fa, fb = a.fingerprint(), b.fingerprint()
+        print(f"survivor fingerprint: {fa}")
+        print(f"control  fingerprint: {fb}")
+        assert fa == fb, "kill/resume changed the campaign outcome!"
+        n = len(a.jobs)
+    print(f"bit-identical: {n} jobs survived a hard worker kill unchanged")
+    print(f"store kept at {survivor}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -309,12 +309,16 @@ class WallClockInKernel(Rule):
     #: scope covers the whole SPMD substrate including the process
     #: transport (``parallel/transport.py``): rank code must be replayable,
     #: so its polling loops budget in fixed poll *steps*, never wall time.
+    #: The ``service`` scope holds the campaign service to the same bar:
+    #: store/worker/packer time comes from an injectable clock (held by
+    #: reference), so kill/resume drills replay bit-identically.
     default_scopes = (
         "analysis",
         "dataparallel",
         "parallel",
         "io",
         "streaming",
+        "service",
         "sim/pmsolver.py",
         "insitu/spatial.py",
     )

@@ -40,6 +40,8 @@ Site                   Hop
 ``io.read``            :meth:`repro.io.genericio.GenericIOFile.read_block`
 ``stream.read``        one chunk hand-off in a :mod:`repro.streaming` stream
 ``exec.item``          one work item inside a :mod:`repro.exec` worker
+``service.job``        one campaign-service payload attempt
+                       (:meth:`repro.service.worker.ServiceWorker.run_job`)
 =====================  ======================================================
 """
 
@@ -82,6 +84,7 @@ KNOWN_SITES: tuple[str, ...] = (
     "io.read",
     "stream.read",
     "exec.item",
+    "service.job",
 )
 
 

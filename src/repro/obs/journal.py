@@ -32,8 +32,10 @@ that is recovered, never propagated:
 Records carry a monotonically increasing ``seq`` and a ``kind``
 discriminator: ``run.start`` / ``event`` / ``span`` / ``metrics`` /
 ``failure`` / ``run.end``.  Unknown kinds are preserved by readers, so
-the format is forward-compatible (the planned campaign service will
-journal job-state records into the same stream).
+the format is forward-compatible (the campaign service's job store,
+:mod:`repro.service.store`, reuses these idioms — atomic manifest,
+single-``write`` line framing, :func:`recover_tail` — for its own
+``jobs.jsonl`` stream).
 
 The journal registers an ``atexit`` flush so a run that crashes (rather
 than closing cleanly) still keeps its buffered tail on disk.

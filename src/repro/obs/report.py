@@ -41,6 +41,7 @@ PHASE_RULES: tuple[tuple[str, str], ...] = (
     ("io.", "I/O"),
     ("exec.", "Parallel exec"),
     ("scheduler.", "Scheduler"),
+    ("service.", "Service"),
     ("retry.", "Resilience"),
     ("workflow.", "Workflow"),
 )
@@ -57,6 +58,9 @@ FAILURE_COUNTERS: tuple[tuple[str, str], ...] = (
     ("scheduler_requeues_total", "scheduler requeues"),
     ("exec_item_failures_total", "exec item failures"),
     ("exec_poisoned_items_total", "exec items poisoned"),
+    ("service_jobs_failed_total", "service jobs failed"),
+    ("service_requeues_total", "service requeues"),
+    ("service_dead_letter_total", "service dead-lettered"),
 )
 
 #: Event name -> failure label, for the per-run failure grouping.
@@ -71,6 +75,8 @@ FAILURE_EVENTS: tuple[tuple[str, str], ...] = (
     ("scheduler.job_failed", "scheduler jobs failed"),
     ("scheduler.job_requeued", "scheduler requeues"),
     ("exec.item_error", "exec item failures"),
+    ("service.job_failed", "service jobs failed"),
+    ("service.job_requeued", "service requeues"),
 )
 
 OTHER_PHASE = "Other"

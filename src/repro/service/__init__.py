@@ -1,0 +1,105 @@
+"""repro.service — the Balsam-style persistent campaign service.
+
+The paper's combined workflow leaves one operational gap: the off-line
+leg is a *campaign* — thousands of small center/subhalo jobs spread
+over weeks — and facility queue policies (Titan: at most two sub-125-
+node jobs at once, :class:`repro.machines.machine.QueuePolicy`) make
+submitting them individually impossible.  Balsam, the service this
+package reproduces in miniature, solves that with three pieces this
+package mirrors one-to-one (see ``docs/service.md``):
+
+* a **durable job store** (:mod:`repro.service.store`) — campaigns are
+  submitted as named, crash-safe resources journaled with the
+  :mod:`repro.obs.journal` idioms (append-only JSONL, atomic manifest,
+  torn-tail recovery), moving through an explicit, *enforced* state
+  machine (:mod:`repro.service.states`)::
+
+      CREATED -> STAGED_IN -> PREPROCESSED -> RUNNING -> RUN_DONE
+              -> POSTPROCESSED -> JOB_FINISHED
+
+  with a ``FAILED`` edge from every active state, requeue-or-dead-letter
+  semantics wired into :mod:`repro.faults`;
+* a **job packer** (:mod:`repro.service.packer`) — Balsam's ``boxpack``:
+  deterministic shelf packing of small jobs into node-width × wall-time
+  rectangles priced by the calibrated cost model
+  (:mod:`repro.machines.cost`), so the facility sees a few large
+  policy-friendly allocations;
+* a **pull-based worker** (:mod:`repro.service.worker`) — launchers
+  drain the store (the store never pushes), each job driven through the
+  full lifecycle under the shared retry policy with per-job
+  ``"service.job"`` fault injection, and a ``crash_after_transitions``
+  hard-kill drill hook proving kill → ``resume`` → bit-identical
+  outcome (:meth:`repro.service.store.CampaignStore.fingerprint`).
+
+:class:`~repro.service.service.CampaignService` is the facade gluing
+the three to the existing discrete-event scheduler (one scheduler job
+per packed allocation); ``python -m repro.service`` is the operator CLI
+(``init`` / ``submit`` / ``ls`` / ``status`` / ``pack`` / ``work`` /
+``resume``).
+"""
+
+from .packer import JobPacker, PackedAllocation, estimate_center_job
+from .service import CampaignService
+from .states import (
+    ACTIVE_STATES,
+    IN_FLIGHT_STATES,
+    LEGAL_TRANSITIONS,
+    LIFECYCLE_ORDER,
+    RECOVERY_TRANSITIONS,
+    TERMINAL_STATES,
+    IllegalTransition,
+    JobState,
+    validate_transition,
+)
+from .store import (
+    JOBS_FILE,
+    MANIFEST_FILE,
+    STORE_FORMAT,
+    CampaignInfo,
+    CampaignStore,
+    IllegalDeadLetter,
+    JobRecord,
+    JobSpec,
+    StoreCorruptError,
+    StoreManifest,
+)
+from .worker import (
+    PAYLOADS,
+    PayloadFn,
+    ServiceWorker,
+    payload_digest,
+    register_payload,
+    run_payload,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "IN_FLIGHT_STATES",
+    "JOBS_FILE",
+    "LEGAL_TRANSITIONS",
+    "LIFECYCLE_ORDER",
+    "MANIFEST_FILE",
+    "PAYLOADS",
+    "RECOVERY_TRANSITIONS",
+    "STORE_FORMAT",
+    "TERMINAL_STATES",
+    "CampaignInfo",
+    "CampaignService",
+    "CampaignStore",
+    "IllegalDeadLetter",
+    "IllegalTransition",
+    "JobPacker",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "PackedAllocation",
+    "PayloadFn",
+    "ServiceWorker",
+    "StoreCorruptError",
+    "StoreManifest",
+    "estimate_center_job",
+    "payload_digest",
+    "register_payload",
+    "run_payload",
+    "validate_transition",
+]

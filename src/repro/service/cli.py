@@ -1,0 +1,261 @@
+"""``python -m repro.service`` — the campaign-service operator surface.
+
+Every subcommand works on a durable :class:`~repro.service.store.CampaignStore`
+directory, so campaigns survive the submitting process (the Balsam
+property this service reproduces):
+
+* ``init``    — create a fresh store directory
+* ``submit``  — submit a campaign from a JSON spec file, or ``--demo N``
+  seeded synthetic center jobs
+* ``ls``      — list jobs (filter by campaign / state)
+* ``status``  — per-campaign state counts + the store fingerprint
+* ``pack``    — dry-run the boxpack shelf packer; print the allocations
+* ``work``    — run a pull worker over the pending set
+  (``--crash-after N`` arms the hard-kill drill)
+* ``resume``  — crash recovery: roll stranded in-flight jobs back to
+  pending, then drain them (``--no-work`` to recover only)
+
+Exit codes: ``0`` success, ``1`` the store holds dead-lettered jobs
+after the command, ``2`` usage/environment errors.
+
+This module is the CLI surface, so it prints; library code must not
+(rule RPR010 routes library output through ``repro.obs`` events).
+
+The crash/resume drill from ``docs/service.md``, end to end::
+
+    python -m repro.service init /tmp/store
+    python -m repro.service submit /tmp/store --campaign demo --demo 8
+    python -m repro.service work /tmp/store --crash-after 7   # dies: exit 2
+    python -m repro.service resume /tmp/store                 # finishes
+    python -m repro.service status /tmp/store
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from .packer import JobPacker
+from .states import JobState
+from .store import CampaignStore, JobSpec, StoreCorruptError
+from .worker import ServiceWorker
+
+__all__ = ["demo_specs", "main", "read_specs"]
+
+
+def read_specs(path: str) -> list[JobSpec]:
+    """Load a campaign spec file: a JSON list of JobSpec dicts."""
+    with open(path, encoding="utf-8") as fh:
+        raw = json.load(fh)
+    if not isinstance(raw, list):
+        raise ValueError(f"{path}: expected a JSON list of job specs")
+    specs: list[JobSpec] = []
+    for i, entry in enumerate(raw):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ValueError(f"{path}: spec #{i} needs at least a 'name'")
+        specs.append(
+            JobSpec(
+                name=str(entry["name"]),
+                kind=str(entry.get("kind", "noop")),
+                params=dict(entry.get("params") or {}),
+                n_nodes=int(entry.get("n_nodes", 1)),
+                wall_estimate=float(entry.get("wall_estimate", 1.0)),
+                max_requeues=int(entry.get("max_requeues", 1)),
+            )
+        )
+    return specs
+
+
+def demo_specs(n: int, seed: int = 0) -> list[JobSpec]:
+    """``n`` deterministic synthetic center-finding jobs (the demo load)."""
+    return [
+        JobSpec(
+            name=f"centers-{i:03d}",
+            kind="synthetic_centers",
+            params={"seed": seed * 100_003 + i},
+            n_nodes=1,
+            wall_estimate=30.0 + (i % 5) * 15.0,
+        )
+        for i in range(n)
+    ]
+
+
+def _dead_letter_exit(store: CampaignStore) -> int:
+    """Shared exit-code policy: 1 when any job was dead-lettered."""
+    return 1 if any(j.dead_lettered for j in store.jobs.values()) else 0
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    store = CampaignStore.create(args.store, seed=args.seed)
+    store.close()
+    print(f"initialized campaign store at {args.store}")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    if (args.spec is None) == (args.demo is None):
+        print("error: pass exactly one of --spec or --demo", file=sys.stderr)
+        return 2
+    if args.spec is not None:
+        specs = read_specs(args.spec)
+    else:
+        specs = demo_specs(args.demo, seed=args.demo_seed)
+    with CampaignStore.open(args.store) as store:
+        jobs = store.submit_campaign(args.campaign, specs, seed=args.demo_seed)
+        print(f"submitted campaign {args.campaign!r}: {len(jobs)} jobs")
+        for job in jobs[:10]:
+            print(f"  {job.id}  {job.kind}  {job.wall_estimate:.0f}s")
+        if len(jobs) > 10:
+            print(f"  ... and {len(jobs) - 10} more")
+    return 0
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    state = JobState(args.state) if args.state else None
+    with CampaignStore.open(args.store) as store:
+        rows = list(store.iter_jobs(campaign=args.campaign, state=state))
+        for job in sorted(rows, key=lambda j: j.id):
+            flag = " [dead-letter]" if job.dead_lettered else ""
+            print(
+                f"{job.id:<24} {job.state.value:<14} attempts={job.attempts}"
+                f" kind={job.kind}{flag}"
+            )
+        print(f"{len(rows)} job(s)")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    with CampaignStore.open(args.store) as store:
+        status = store.status()
+        payload: dict[str, Any] = {
+            "store": str(args.store),
+            "campaigns": status,
+            "done": store.done,
+            "fingerprint": store.fingerprint(),
+            "dead_letters": store.dead_letter.total,
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for name, counts in sorted(status.items()):
+                parts = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+                print(f"{name}: {parts}")
+            print(f"done: {store.done}")
+            print(f"fingerprint: {payload['fingerprint']}")
+            if payload["dead_letters"]:
+                print(f"dead letters: {payload['dead_letters']}")
+        return _dead_letter_exit(store)
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    with CampaignStore.open(args.store) as store:
+        packer = JobPacker(max_nodes=args.max_nodes, max_wall=args.max_wall)
+        allocations = packer.pack(store.pending(campaign=args.campaign))
+        for alloc in allocations:
+            print(
+                f"{alloc.name}: {alloc.n_nodes} nodes x {alloc.wall_seconds:.0f}s, "
+                f"{alloc.n_jobs} jobs, utilization {alloc.utilization:.0%}"
+            )
+        print(f"{len(allocations)} allocation(s)")
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    with CampaignStore.open(args.store) as store:
+        worker = ServiceWorker(store, crash_after_transitions=args.crash_after)
+        finished = worker.drain(max_jobs=args.max_jobs, campaign=args.campaign)
+        print(f"finished {finished} job(s)")
+        return _dead_letter_exit(store)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    with CampaignStore.open(args.store) as store:
+        rolled = store.recover()
+        if store.recovered_bytes:
+            print(f"recovered torn journal tail ({store.recovered_bytes} bytes)")
+        print(f"rolled {len(rolled)} stranded job(s) back to CREATED")
+        if args.no_work:
+            return 0
+        finished = ServiceWorker(store).drain()
+        print(f"finished {finished} job(s)")
+        return _dead_letter_exit(store)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Balsam-style persistent campaign service over a durable store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a fresh campaign store")
+    p.add_argument("store", help="store directory (created if missing)")
+    p.add_argument("--seed", type=int, default=0, help="store seed (manifest)")
+    p.set_defaults(func=_cmd_init)
+
+    p = sub.add_parser("submit", help="submit a campaign of jobs")
+    p.add_argument("store")
+    p.add_argument("--campaign", required=True, help="campaign name (unique per store)")
+    p.add_argument("--spec", help="JSON spec file (a list of job-spec dicts)")
+    p.add_argument("--demo", type=int, help="submit N seeded synthetic center jobs")
+    p.add_argument("--demo-seed", type=int, default=0, help="seed for --demo jobs")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("ls", help="list jobs")
+    p.add_argument("store")
+    p.add_argument("--campaign", help="only this campaign")
+    p.add_argument(
+        "--state", choices=[s.value for s in JobState], help="only this state"
+    )
+    p.set_defaults(func=_cmd_ls)
+
+    p = sub.add_parser("status", help="per-campaign state counts + fingerprint")
+    p.add_argument("store")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("pack", help="dry-run the job packer over pending jobs")
+    p.add_argument("store")
+    p.add_argument("--campaign", help="only this campaign")
+    p.add_argument(
+        "--max-nodes", type=int, default=128, help="allocation width (nodes)"
+    )
+    p.add_argument(
+        "--max-wall", type=float, default=3600.0, help="allocation wall limit (s)"
+    )
+    p.set_defaults(func=_cmd_pack)
+
+    p = sub.add_parser("work", help="run a pull worker over the pending set")
+    p.add_argument("store")
+    p.add_argument("--campaign", help="only this campaign")
+    p.add_argument("--max-jobs", type=int, help="stop after pulling N jobs")
+    p.add_argument(
+        "--crash-after",
+        type=int,
+        help="drill: hard-kill (exit 2) after N state transitions",
+    )
+    p.set_defaults(func=_cmd_work)
+
+    p = sub.add_parser("resume", help="crash recovery: roll back + drain")
+    p.add_argument("store")
+    p.add_argument(
+        "--no-work", action="store_true", help="recover only; do not run a worker"
+    )
+    p.set_defaults(func=_cmd_resume)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except (FileNotFoundError, FileExistsError, StoreCorruptError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""The campaign-service facade: store + packer + scheduler, one object.
+
+:class:`CampaignService` is the submit/poll boundary ISSUE 10 promotes
+the one-shot listener/scheduler into: campaigns are submitted as named,
+durable resources; the packer turns their thousands of small jobs into
+a few large batch allocations; and :meth:`schedule` hands those
+allocations to the existing discrete-event
+:class:`~repro.machines.scheduler.Scheduler` — each packed allocation
+becomes one big, policy-friendly batch job whose *payload* drains the
+allocation's real jobs through a pull-based
+:class:`~repro.service.worker.ServiceWorker`.
+
+That closes the loop the ROADMAP's Balsam item describes: on Titan the
+queue policy tolerates two small jobs; a packed campaign submits (say)
+three 128-node rectangles instead of nine hundred 1-node jobs, and the
+facility never knows the difference.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+from ..faults import RetryPolicy
+from ..machines.machine import MachineSpec
+from ..machines.scheduler import Job, Scheduler
+from ..obs import get_recorder
+from .packer import JobPacker, PackedAllocation
+from .store import CampaignStore, JobSpec
+from .worker import ServiceWorker
+
+__all__ = ["CampaignService"]
+
+
+class CampaignService:
+    """Submit / pack / schedule / drain campaigns over one durable store."""
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.store = store
+        self.retry = retry
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | os.PathLike[str],
+        seed: int = 0,
+        retry: RetryPolicy | None = None,
+    ) -> "CampaignService":
+        return cls(CampaignStore.create(root, seed=seed), retry=retry)
+
+    @classmethod
+    def open(
+        cls, root: str | os.PathLike[str], retry: RetryPolicy | None = None
+    ) -> "CampaignService":
+        return cls(CampaignStore.open(root), retry=retry)
+
+    # -- the submit/poll boundary ----------------------------------------------
+
+    def submit(self, campaign: str, specs: list[JobSpec], seed: int = 0) -> list[str]:
+        """Submit a campaign; returns the durable job ids."""
+        return [j.id for j in self.store.submit_campaign(campaign, specs, seed=seed)]
+
+    def status(self) -> dict[str, dict[str, int]]:
+        """Per-campaign state counts (poll side of the boundary)."""
+        return self.store.status()
+
+    def resume(self) -> list[str]:
+        """Crash recovery: roll stranded in-flight jobs back to pending."""
+        return self.store.recover()
+
+    # -- packing + machine integration -----------------------------------------
+
+    def pack(
+        self, max_nodes: int, max_wall: float, campaign: str | None = None
+    ) -> list[PackedAllocation]:
+        """Bin-pack pending jobs into node-width × wall-time rectangles."""
+        packer = JobPacker(max_nodes=max_nodes, max_wall=max_wall)
+        return packer.pack(self.store.pending(campaign=campaign))
+
+    def schedule(
+        self,
+        machine: MachineSpec,
+        allocations: list[PackedAllocation],
+        worker_factory: Callable[[CampaignStore], ServiceWorker] | None = None,
+    ) -> float:
+        """Run packed allocations through the discrete-event scheduler.
+
+        One :class:`~repro.machines.scheduler.Job` per allocation, sized
+        by the packer's rectangle; the job's payload drains exactly that
+        allocation's campaign jobs through a pull worker when the
+        simulated facility grants the nodes.  Returns the makespan.
+        """
+        scheduler = Scheduler(machine)
+        for alloc in allocations:
+            worker = (
+                worker_factory(self.store)
+                if worker_factory is not None
+                else ServiceWorker(self.store, retry=self.retry)
+            )
+            scheduler.submit(
+                Job(
+                    name=alloc.name,
+                    n_nodes=alloc.n_nodes,
+                    duration=alloc.wall_seconds,
+                    payload=_allocation_payload(worker, alloc),
+                )
+            )
+        makespan = scheduler.run()
+        get_recorder().event(
+            "service.scheduled",
+            machine=machine.name,
+            allocations=len(allocations),
+            makespan=makespan,
+        )
+        return makespan
+
+    def drain(self, max_jobs: int | None = None, campaign: str | None = None) -> int:
+        """Run a local pull worker over the pending set (no scheduler)."""
+        worker = ServiceWorker(self.store, retry=self.retry)
+        return worker.drain(max_jobs=max_jobs, campaign=campaign)
+
+
+def _allocation_payload(
+    worker: ServiceWorker, alloc: PackedAllocation
+) -> Callable[[], Any]:
+    """The batch job body: drain one allocation's jobs via the worker."""
+
+    def payload() -> int:
+        return worker.drain(job_ids=list(alloc.job_ids))
+
+    return payload

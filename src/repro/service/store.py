@@ -1,0 +1,663 @@
+"""The durable campaign job store: crash-safe JSONL + atomic manifest.
+
+The store is the service's source of truth — Balsam's first design rule
+("a campaign is worth nothing if it dies with the submitting process")
+applied with the :mod:`repro.obs.journal` idioms this repo already
+trusts:
+
+* **Atomic manifest** (``manifest.json``): the store's identity —
+  format tag ``repro-service/1``, creation wall time, seed, code
+  version — written via temp file + ``os.replace`` so a reader never
+  sees a torn manifest.
+* **Append-only job journal** (``jobs.jsonl``): every campaign
+  submission, job creation, and state transition is one
+  newline-terminated JSON record handed to the OS in a single buffered
+  ``write`` under a lock (concurrent writers never interleave within a
+  line), flushed per record.  The current job table is *derived state*:
+  opening a store replays the journal from the top.
+* **Torn-tail recovery**: a crash can tear the final line at a buffer
+  boundary.  Opening for append truncates back to the last complete
+  line (:func:`repro.obs.journal.recover_tail`) — exactly one record
+  (the one being written at the instant of death) can be lost, and it
+  is always the *latest* transition, so replay re-derives a consistent
+  earlier lifecycle position for that job.
+* **Crash recovery** (:meth:`CampaignStore.recover`): jobs a dead
+  worker stranded mid-lifecycle are rolled back to ``CREATED`` with an
+  explicit ``recovery=True`` transition record, so a resumed worker
+  sees the same pending set an uninterrupted run would have processed
+  — and the journal says the rollback happened.
+
+Record kinds (unknown kinds are preserved on replay, the same
+forward-compatibility contract as the run journal):
+
+==================  =========================================================
+``campaign.create``  one submitted campaign (name, seed, job count)
+``job.create``       one job's immutable spec (id, kind, params, estimates)
+``job.transition``   one state-machine edge (from, to, attempts, error, ...)
+``job.dead_letter``  terminal failure after the requeue budget ran out
+==================  =========================================================
+
+Time never comes from a wall-clock call inside this module (rule
+RPR003 covers ``repro.service``): the store takes an injectable
+``clock`` and defaults to :data:`time.time` *by reference*, so
+deterministic tests can freeze it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from ..faults import DEAD_LETTER_LIMIT, DeadLetterBox
+from ..obs import get_recorder
+from ..obs.journal import config_hash, detect_code_version, recover_tail
+from .states import IN_FLIGHT_STATES, JobState, validate_transition
+
+__all__ = [
+    "JOBS_FILE",
+    "MANIFEST_FILE",
+    "STORE_FORMAT",
+    "CampaignInfo",
+    "CampaignStore",
+    "IllegalDeadLetter",
+    "JobRecord",
+    "JobSpec",
+    "StoreCorruptError",
+    "StoreManifest",
+]
+
+MANIFEST_FILE = "manifest.json"
+JOBS_FILE = "jobs.jsonl"
+
+#: Store format tag written into every manifest.
+STORE_FORMAT = "repro-service/1"
+
+
+class StoreCorruptError(RuntimeError):
+    """The job journal encodes something replay cannot honour.
+
+    Torn final lines are *not* corruption (they are recovered); this is
+    raised for interior damage — an unparseable line in the middle of
+    the journal, a transition for an unknown job, or an edge the state
+    machine forbids.
+    """
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a submitter asks for: one job's immutable description.
+
+    ``kind`` names a registered payload (see
+    :mod:`repro.service.worker`); ``params`` are its JSON-serializable
+    arguments.  ``n_nodes`` and ``wall_estimate`` feed the packer
+    (node-width × wall-time rectangles); estimate walls with the
+    calibrated cost model (:func:`repro.service.packer.estimate_center_job`).
+    """
+
+    name: str
+    kind: str = "noop"
+    params: dict[str, Any] = field(default_factory=dict)
+    n_nodes: int = 1
+    wall_estimate: float = 1.0
+    max_requeues: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.wall_estimate <= 0:
+            raise ValueError("wall_estimate must be positive")
+        if self.max_requeues < 0:
+            raise ValueError("max_requeues must be >= 0")
+
+
+@dataclass
+class JobRecord:
+    """One job's current (replayed) state plus its immutable spec."""
+
+    id: str
+    campaign: str
+    name: str
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+    n_nodes: int = 1
+    wall_estimate: float = 1.0
+    max_requeues: int = 1
+    state: JobState = JobState.CREATED
+    attempts: int = 0
+    error: str | None = None
+    result: dict[str, Any] | None = None
+    dead_lettered: bool = False
+    #: full lifecycle trail: ``(state, wall_seconds)`` per transition,
+    #: starting with the ``CREATED`` stamp.
+    history: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.state is JobState.JOB_FINISHED
+
+    @property
+    def pending(self) -> bool:
+        return self.state is JobState.CREATED
+
+    def spec_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "campaign": self.campaign,
+            "name": self.name,
+            "kind": self.kind,
+            "params": self.params,
+            "n_nodes": self.n_nodes,
+            "wall_estimate": self.wall_estimate,
+            "max_requeues": self.max_requeues,
+        }
+
+
+@dataclass
+class CampaignInfo:
+    """One submitted campaign (a named group of jobs)."""
+
+    name: str
+    seed: int = 0
+    created: float = 0.0
+    job_ids: list[str] = field(default_factory=list)
+
+
+@dataclass
+class StoreManifest:
+    """The store's identity card (``manifest.json``)."""
+
+    created: float = 0.0
+    seed: int = 0
+    code_version: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": STORE_FORMAT,
+            "created": self.created,
+            "seed": self.seed,
+            "code_version": self.code_version,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "StoreManifest":
+        fmt = d.get("format")
+        if fmt != STORE_FORMAT:
+            raise StoreCorruptError(
+                f"not a campaign store manifest: format={fmt!r} (expected {STORE_FORMAT!r})"
+            )
+        return cls(
+            created=float(d.get("created", 0.0)),
+            seed=int(d.get("seed", 0)),
+            code_version=str(d.get("code_version", "")),
+            extra=dict(d.get("extra") or {}),
+        )
+
+    def save(self, path: str | os.PathLike[str]) -> str:
+        """Atomic write: temp file in the same directory + ``os.replace``."""
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "StoreManifest":
+        with open(os.fspath(path), encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+class CampaignStore:
+    """Durable, multi-tenant job store under one directory.
+
+    Use :meth:`create` for a fresh store and :meth:`open` to resume an
+    existing one (torn tail recovered first, journal replayed into the
+    in-memory job table).  All journal writes are thread-safe; each
+    record gets the next ``seq``.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        manifest: StoreManifest,
+        clock: Callable[[], float] | None = None,
+        _seq0: int = 0,
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self.manifest = manifest
+        # injectable clock (RPR003: no wall-clock calls in service code);
+        # time.time is referenced, never called here
+        self._clock = time.time if clock is None else clock
+        self._lock = threading.Lock()
+        self._seq = int(_seq0)
+        self.jobs: dict[str, JobRecord] = {}
+        self.campaigns: dict[str, CampaignInfo] = {}
+        self.dead_letter = DeadLetterBox("service", limit=DEAD_LETTER_LIMIT)
+        #: torn-tail bytes dropped when this store was last opened
+        self.recovered_bytes = 0
+        self._fh = open(self.jobs_path, "a", encoding="utf-8")
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | os.PathLike[str],
+        seed: int = 0,
+        extra: dict[str, Any] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> "CampaignStore":
+        """Create a fresh store directory (fails if one already exists)."""
+        directory = Path(os.fspath(root))
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / MANIFEST_FILE).exists():
+            raise FileExistsError(f"{directory}: already a campaign store")
+        wall = (time.time if clock is None else clock)()
+        manifest = StoreManifest(
+            created=wall,
+            seed=int(seed),
+            code_version=detect_code_version(),
+            extra=dict(extra or {}),
+        )
+        manifest.save(directory / MANIFEST_FILE)
+        store = cls(directory, manifest, clock=clock)
+        get_recorder().event("service.store_created", store=str(directory), seed=seed)
+        return store
+
+    @classmethod
+    def open(
+        cls, root: str | os.PathLike[str], clock: Callable[[], float] | None = None
+    ) -> "CampaignStore":
+        """Open an existing store: recover the tail, replay the journal."""
+        directory = Path(os.fspath(root))
+        manifest_path = directory / MANIFEST_FILE
+        if not manifest_path.is_file():
+            raise FileNotFoundError(f"{directory}: no campaign store here ({MANIFEST_FILE})")
+        manifest = StoreManifest.load(manifest_path)
+        jobs_path = directory / JOBS_FILE
+        dropped = recover_tail(jobs_path)
+        records = _read_records(jobs_path) if jobs_path.is_file() else []
+        store = cls(directory, manifest, clock=clock, _seq0=len(records))
+        store.recovered_bytes = dropped
+        for rec in records:
+            store._apply(rec)
+        if dropped:
+            get_recorder().event(
+                "service.store_tail_recovered",
+                level="warning",
+                store=str(directory),
+                dropped_bytes=dropped,
+            )
+        return store
+
+    # -- paths -----------------------------------------------------------------
+
+    @property
+    def jobs_path(self) -> str:
+        return os.path.join(self.directory, JOBS_FILE)
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_FILE)
+
+    @property
+    def products_dir(self) -> str:
+        """Where workers drop per-job products (created on demand)."""
+        return os.path.join(self.directory, "products")
+
+    # -- journal ---------------------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> int:
+        """Append one record (adds ``seq`` + ``wall``); returns its seq.
+
+        Same atomic-line-framing contract as
+        :meth:`repro.obs.journal.RunJournal.write`: serialize outside
+        the file write, one ``write`` call per record, flush per record
+        (campaign stores see orders of magnitude fewer records than run
+        journals, so durability wins over batching here).
+        """
+        with self._lock:
+            if self._fh.closed:
+                raise RuntimeError("store is closed")
+            seq = self._seq
+            line = json.dumps({"seq": seq, "wall": self._clock(), **record})
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self._seq += 1
+            return seq
+
+    def _apply(self, record: dict[str, Any]) -> None:
+        """Replay one journal record into the in-memory tables."""
+        kind = record.get("kind")
+        wall = float(record.get("wall", 0.0))
+        if kind == "campaign.create":
+            name = str(record["campaign"])
+            self.campaigns[name] = CampaignInfo(
+                name=name, seed=int(record.get("seed", 0)), created=wall
+            )
+        elif kind == "job.create":
+            spec = dict(record.get("job") or {})
+            job = JobRecord(
+                id=str(spec["id"]),
+                campaign=str(spec["campaign"]),
+                name=str(spec.get("name", spec["id"])),
+                kind=str(spec.get("kind", "noop")),
+                params=dict(spec.get("params") or {}),
+                n_nodes=int(spec.get("n_nodes", 1)),
+                wall_estimate=float(spec.get("wall_estimate", 1.0)),
+                max_requeues=int(spec.get("max_requeues", 1)),
+                history=[(JobState.CREATED.value, wall)],
+            )
+            if job.id in self.jobs:
+                raise StoreCorruptError(f"duplicate job.create for {job.id!r}")
+            if job.campaign not in self.campaigns:
+                raise StoreCorruptError(
+                    f"job.create for {job.id!r} references unknown campaign "
+                    f"{job.campaign!r}"
+                )
+            self.jobs[job.id] = job
+            self.campaigns[job.campaign].job_ids.append(job.id)
+        elif kind == "job.transition":
+            job = self._job(record)
+            dst = JobState(str(record["to"]))
+            src = JobState(str(record["from"]))
+            if src is not job.state:
+                raise StoreCorruptError(
+                    f"transition for {job.id!r} departs from {src} but the "
+                    f"replayed state is {job.state}"
+                )
+            validate_transition(
+                src, dst, job_id=job.id, recovery=bool(record.get("recovery"))
+            )
+            job.state = dst
+            job.attempts = int(record.get("attempts", job.attempts))
+            job.error = record.get("error")
+            if record.get("result") is not None:
+                job.result = dict(record["result"])
+            job.history.append((dst.value, wall))
+        elif kind == "job.dead_letter":
+            job = self._job(record)
+            job.dead_lettered = True
+            self.dead_letter.add(
+                job.id,
+                str(record.get("reason", "requeue budget exhausted")),
+                attempts=int(record.get("attempts", job.attempts)),
+            )
+        # unknown kinds: preserved silently (forward compatibility)
+
+    def _job(self, record: dict[str, Any]) -> JobRecord:
+        job_id = str(record.get("job"))
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise StoreCorruptError(f"record references unknown job {job_id!r}")
+        return job
+
+    # -- submission ------------------------------------------------------------
+
+    def submit_campaign(
+        self, name: str, specs: list[JobSpec], seed: int = 0
+    ) -> list[JobRecord]:
+        """Submit a named campaign of jobs; returns the created records.
+
+        Job ids are deterministic (``<campaign>.<index>``), so a seeded
+        submission replays identically — the property the packer- and
+        resume-determinism tests lean on.
+        """
+        if not name or "/" in name or name != name.strip():
+            raise ValueError(f"invalid campaign name {name!r}")
+        if name in self.campaigns:
+            raise ValueError(f"campaign {name!r} already submitted")
+        if not specs:
+            raise ValueError("a campaign needs at least one job")
+        rec = get_recorder()
+        self._append({"kind": "campaign.create", "campaign": name, "seed": int(seed)})
+        wall = self._clock()
+        self.campaigns[name] = CampaignInfo(name=name, seed=int(seed), created=wall)
+        created: list[JobRecord] = []
+        for i, spec in enumerate(specs):
+            job = JobRecord(
+                id=f"{name}.{i:05d}",
+                campaign=name,
+                name=spec.name,
+                kind=spec.kind,
+                params=dict(spec.params),
+                n_nodes=spec.n_nodes,
+                wall_estimate=spec.wall_estimate,
+                max_requeues=spec.max_requeues,
+                history=[(JobState.CREATED.value, wall)],
+            )
+            self._append({"kind": "job.create", "job": job.spec_dict()})
+            self.jobs[job.id] = job
+            self.campaigns[name].job_ids.append(job.id)
+            created.append(job)
+        rec.counter("service_campaigns_total").inc()
+        rec.counter("service_jobs_submitted_total").inc(len(created))
+        rec.event(
+            "service.campaign_submitted", campaign=name, jobs=len(created), seed=seed
+        )
+        return created
+
+    # -- transitions -----------------------------------------------------------
+
+    def transition(
+        self,
+        job_id: str,
+        dst: JobState,
+        error: str | None = None,
+        result: dict[str, Any] | None = None,
+        recovery: bool = False,
+    ) -> JobRecord:
+        """Move one job along a legal edge, journaled before applied.
+
+        Raises :class:`~repro.service.states.IllegalTransition` for a
+        forbidden edge *before* anything touches disk, so an illegal
+        call can never corrupt the store.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        src = job.state
+        validate_transition(src, dst, job_id=job_id, recovery=recovery)
+        # `attempts` counts lifecycle *failures* (FAILED entries), so a
+        # stage-in failure consumes requeue budget exactly like a
+        # payload failure — no free infinite FAILED→CREATED loops
+        attempts = job.attempts + 1 if dst is JobState.FAILED else job.attempts
+        record: dict[str, Any] = {
+            "kind": "job.transition",
+            "job": job_id,
+            "from": src.value,
+            "to": dst.value,
+            "attempts": attempts,
+        }
+        if error is not None:
+            record["error"] = error
+        if result is not None:
+            record["result"] = result
+        if recovery:
+            record["recovery"] = True
+        self._append(record)
+        job.state = dst
+        job.attempts = attempts
+        job.error = error
+        if result is not None:
+            job.result = dict(result)
+        job.history.append((dst.value, self._clock()))
+        rec = get_recorder()
+        rec.counter("service_transitions_total").inc()
+        rec.event(
+            "service.transition",
+            job=job_id,
+            src=src.value,
+            dst=dst.value,
+            recovery=recovery,
+        )
+        return job
+
+    def mark_dead_letter(self, job_id: str, reason: str) -> JobRecord:
+        """Record a terminal failure (requeue budget exhausted).
+
+        The job stays ``FAILED``; the journal gains a ``job.dead_letter``
+        record and the store's :class:`~repro.faults.DeadLetterBox`
+        (source ``"service"``) gains an entry — the same bounded sink
+        the scheduler and exec engine use.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if job.state is not JobState.FAILED:
+            raise IllegalDeadLetter(job_id, job.state)
+        self._append(
+            {
+                "kind": "job.dead_letter",
+                "job": job_id,
+                "reason": reason,
+                "attempts": job.attempts,
+            }
+        )
+        job.dead_lettered = True
+        self.dead_letter.add(job_id, reason, attempts=job.attempts)
+        return job
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover(self) -> list[str]:
+        """Roll stranded in-flight jobs back to ``CREATED``.
+
+        A worker that died mid-lifecycle leaves jobs in an in-flight
+        state (``STAGED_IN`` .. ``POSTPROCESSED``).  Each is rolled back
+        with an explicit ``recovery=True`` transition, so the resumed
+        pending set is exactly what an uninterrupted worker would still
+        have had to process.  Returns the rolled-back job ids.
+        """
+        rolled: list[str] = []
+        for job in self.jobs.values():
+            if job.state in IN_FLIGHT_STATES:
+                self.transition(job.id, JobState.CREATED, recovery=True)
+                rolled.append(job.id)
+        if rolled:
+            rec = get_recorder()
+            rec.counter("service_recovered_total").inc(len(rolled))
+            rec.event(
+                "service.recovered", level="warning", jobs=len(rolled), ids=rolled
+            )
+        return rolled
+
+    # -- queries ---------------------------------------------------------------
+
+    def pending(self, campaign: str | None = None) -> list[JobRecord]:
+        """``CREATED`` jobs in submission order (the worker's pull queue)."""
+        return [
+            j
+            for j in self.jobs.values()
+            if j.pending and (campaign is None or j.campaign == campaign)
+        ]
+
+    def iter_jobs(
+        self, campaign: str | None = None, state: JobState | None = None
+    ) -> Iterator[JobRecord]:
+        for job in self.jobs.values():
+            if campaign is not None and job.campaign != campaign:
+                continue
+            if state is not None and job.state is not state:
+                continue
+            yield job
+
+    def status(self) -> dict[str, dict[str, int]]:
+        """Per-campaign state counts (the ``repro.service status`` view)."""
+        out: dict[str, dict[str, int]] = {}
+        for name, info in self.campaigns.items():
+            counts: dict[str, int] = {}
+            for job_id in info.job_ids:
+                state = self.jobs[job_id].state.value
+                counts[state] = counts.get(state, 0) + 1
+            out[name] = counts
+        return out
+
+    @property
+    def done(self) -> bool:
+        """Every job terminal: finished, or failed with no requeue budget."""
+        return all(
+            j.finished or (j.state is JobState.FAILED and j.dead_lettered)
+            for j in self.jobs.values()
+        )
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of every job's spec + result (no walls).
+
+        Two stores whose campaigns produced identical outcomes — e.g. an
+        uninterrupted run versus a killed-and-resumed one — have equal
+        fingerprints; anything timing-dependent is projected away.
+        """
+        view = [
+            {
+                "spec": j.spec_dict(),
+                "state": j.state.value,
+                "result": j.result,
+                "dead_lettered": j.dead_lettered,
+            }
+            for j in sorted(self.jobs.values(), key=lambda j: j.id)
+        ]
+        return config_hash({"jobs": view})
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                try:
+                    os.fsync(self._fh.fileno())
+                except OSError:  # pragma: no cover - fs without fsync
+                    pass
+                self._fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+
+class IllegalDeadLetter(ValueError):
+    """Dead-lettering is only legal from ``FAILED``."""
+
+    def __init__(self, job_id: str, state: JobState) -> None:
+        super().__init__(
+            f"job {job_id!r} cannot be dead-lettered from {state} (only from FAILED)"
+        )
+        self.job_id = job_id
+        self.state = state
+
+
+def _read_records(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Parse a (tail-recovered) job journal; interior damage raises."""
+    records: list[dict[str, Any]] = []
+    with open(os.fspath(path), "rb") as fh:
+        data = fh.read()
+    lines = data.split(b"\n")
+    if lines and lines[-1].strip():  # pragma: no cover - recover_tail ran first
+        lines = lines[:-1]
+    for i, raw in enumerate(lines):
+        if not raw.strip():
+            continue
+        try:
+            records.append(json.loads(raw.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StoreCorruptError(
+                f"{os.fspath(path)}: unparseable interior record at line {i + 1}: {exc}"
+            ) from exc
+    return records

@@ -221,4 +221,5 @@ def test_known_sites_cover_the_documented_hops():
     assert "listener.submit" in KNOWN_SITES
     assert "offline.job" in KNOWN_SITES
     assert "stream.read" in KNOWN_SITES
-    assert len(KNOWN_SITES) == len(set(KNOWN_SITES)) == 11
+    assert "service.job" in KNOWN_SITES
+    assert len(KNOWN_SITES) == len(set(KNOWN_SITES)) == 12

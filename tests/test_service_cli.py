@@ -1,0 +1,130 @@
+"""CLI flows for ``python -m repro.service`` (driven via ``main([...])``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cli import demo_specs, main, read_specs
+from repro.service.store import CampaignStore
+
+
+def run(capsys, *args):
+    code = main([str(a) for a in args])
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+def test_init_submit_work_status(tmp_path, capsys):
+    store = tmp_path / "store"
+    code, out, _ = run(capsys, "init", store, "--seed", 7)
+    assert code == 0 and "initialized" in out
+
+    code, out, _ = run(
+        capsys, "submit", store, "--campaign", "demo", "--demo", 3, "--demo-seed", 2
+    )
+    assert code == 0 and "3 jobs" in out
+
+    code, out, _ = run(capsys, "ls", store, "--state", "CREATED")
+    assert code == 0 and "3 job(s)" in out
+
+    code, out, _ = run(capsys, "work", store)
+    assert code == 0 and "finished 3 job(s)" in out
+
+    code, out, _ = run(capsys, "status", store)
+    assert code == 0
+    assert "JOB_FINISHED=3" in out and "done: True" in out
+
+    code, out, _ = run(capsys, "status", store, "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["campaigns"] == {"demo": {"JOB_FINISHED": 3}}
+    assert payload["done"] is True
+    assert len(payload["fingerprint"]) == 64
+
+
+def test_submit_spec_file(tmp_path, capsys):
+    store = tmp_path / "store"
+    spec = tmp_path / "jobs.json"
+    spec.write_text(
+        json.dumps(
+            [
+                {"name": "a", "kind": "noop", "wall_estimate": 10.0},
+                {"name": "b", "kind": "noop", "n_nodes": 2},
+            ]
+        )
+    )
+    run(capsys, "init", store)
+    code, out, _ = run(capsys, "submit", store, "--campaign", "filed", "--spec", spec)
+    assert code == 0 and "2 jobs" in out
+    with CampaignStore.open(store) as s:
+        assert s.jobs["filed.00001"].n_nodes == 2
+
+
+def test_submit_requires_exactly_one_source(tmp_path, capsys):
+    store = tmp_path / "store"
+    run(capsys, "init", store)
+    code, _, err = run(capsys, "submit", store, "--campaign", "x")
+    assert code == 2 and "exactly one" in err
+    code, _, err = run(
+        capsys, "submit", store, "--campaign", "x", "--demo", 2, "--spec", "f.json"
+    )
+    assert code == 2
+
+
+def test_pack_output(tmp_path, capsys):
+    store = tmp_path / "store"
+    run(capsys, "init", store)
+    run(capsys, "submit", store, "--campaign", "demo", "--demo", 6)
+    code, out, _ = run(capsys, "pack", store, "--max-nodes", 4, "--max-wall", 300)
+    assert code == 0
+    assert "pack-000" in out and "allocation(s)" in out
+
+
+def test_resume_no_work(tmp_path, capsys):
+    store = tmp_path / "store"
+    run(capsys, "init", store)
+    run(capsys, "submit", store, "--campaign", "demo", "--demo", 2)
+    code, out, _ = run(capsys, "resume", store, "--no-work")
+    assert code == 0 and "rolled 0 stranded" in out
+
+
+def test_dead_letter_exit_code(tmp_path, capsys):
+    store = tmp_path / "store"
+    spec = tmp_path / "jobs.json"
+    spec.write_text(
+        json.dumps([{"name": "bad", "kind": "fail", "max_requeues": 0}])
+    )
+    run(capsys, "init", store)
+    run(capsys, "submit", store, "--campaign", "doom", "--spec", spec)
+    code, out, _ = run(capsys, "work", store)
+    assert code == 1 and "finished 0 job(s)" in out
+    code, out, _ = run(capsys, "status", store)
+    assert code == 1 and "dead letters: 1" in out
+    code, out, _ = run(capsys, "ls", store)
+    assert "[dead-letter]" in out
+
+
+def test_error_paths_exit_2(tmp_path, capsys):
+    code, _, err = run(capsys, "status", tmp_path / "missing")
+    assert code == 2 and "error:" in err
+    run(capsys, "init", tmp_path / "store")
+    code, _, err = run(capsys, "init", tmp_path / "store")
+    assert code == 2 and "already" in err
+
+
+def test_read_specs_validation(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"not": "a list"}))
+    with pytest.raises(ValueError, match="JSON list"):
+        read_specs(str(bad))
+    bad.write_text(json.dumps([{"kind": "noop"}]))
+    with pytest.raises(ValueError, match="name"):
+        read_specs(str(bad))
+
+
+def test_demo_specs_deterministic():
+    assert demo_specs(3, seed=1) == demo_specs(3, seed=1)
+    assert demo_specs(3, seed=1) != demo_specs(3, seed=2)
+    assert all(s.kind == "synthetic_centers" for s in demo_specs(2))

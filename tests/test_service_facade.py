@@ -1,0 +1,90 @@
+"""CampaignService facade: pack → schedule → drain through the machines layer."""
+
+from __future__ import annotations
+
+from repro.faults import RetryPolicy
+from repro.machines.machine import MachineSpec, QueuePolicy
+from repro.service import CampaignService, JobSpec, JobState
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0)
+
+
+def toy_machine(n_nodes=8):
+    return MachineSpec(
+        name="toy",
+        n_nodes=n_nodes,
+        cores_per_node=16,
+        charge_factor=1.0,
+        has_gpu=False,
+    )
+
+
+def specs(n, wall=30.0):
+    return [
+        JobSpec(name=f"j{i}", kind="noop", params={"i": i}, wall_estimate=wall)
+        for i in range(n)
+    ]
+
+
+def test_submit_pack_schedule_completes_all_jobs(tmp_path):
+    svc = CampaignService.create(tmp_path / "s", seed=7, retry=FAST_RETRY)
+    svc.submit("demo", specs(6))
+    allocs = svc.pack(max_nodes=2, max_wall=120.0)
+    assert sum(a.n_jobs for a in allocs) == 6
+    makespan = svc.schedule(toy_machine(), allocs)
+    assert makespan > 0
+    assert svc.store.done
+    assert svc.status() == {"demo": {"JOB_FINISHED": 6}}
+    svc.store.close()
+
+
+def test_each_allocation_drains_only_its_jobs(tmp_path):
+    svc = CampaignService.create(tmp_path / "s", seed=7, retry=FAST_RETRY)
+    svc.submit("demo", specs(4))
+    allocs = svc.pack(max_nodes=1, max_wall=60.0)
+    assert len(allocs) >= 2
+    claimed = [set(a.job_ids) for a in allocs]
+    for i, a in enumerate(claimed):
+        for b in claimed[i + 1:]:
+            assert not (a & b)
+    svc.schedule(toy_machine(), allocs)
+    assert svc.store.done
+    svc.store.close()
+
+
+def test_packed_allocations_clear_small_job_policy(tmp_path):
+    """The point of packing: wide allocations are not 'small jobs'."""
+    machine = MachineSpec(
+        name="titan-ish",
+        n_nodes=256,
+        cores_per_node=16,
+        charge_factor=30.0,
+        has_gpu=True,
+        queue=QueuePolicy(small_job_nodes=125, max_small_jobs=2),
+    )
+    svc = CampaignService.create(tmp_path / "s", seed=7, retry=FAST_RETRY)
+    svc.submit("demo", [JobSpec(name=f"j{i}", kind="noop") for i in range(50)])
+    allocs = svc.pack(max_nodes=128, max_wall=600.0)
+    assert all(a.n_nodes >= machine.queue.small_job_nodes for a in allocs)
+    svc.schedule(machine, allocs)
+    assert svc.store.done
+    svc.store.close()
+
+
+def test_resume_via_facade(tmp_path):
+    svc = CampaignService.create(tmp_path / "s", seed=7, retry=FAST_RETRY)
+    svc.submit("demo", specs(2))
+    svc.store.transition("demo.00000", JobState.STAGED_IN)
+    assert svc.resume() == ["demo.00000"]
+    assert svc.drain() == 2
+    assert svc.store.done
+    svc.store.close()
+
+
+def test_open_existing_store(tmp_path):
+    svc = CampaignService.create(tmp_path / "s", seed=7)
+    svc.submit("demo", specs(1))
+    svc.store.close()
+    again = CampaignService.open(tmp_path / "s", retry=FAST_RETRY)
+    assert again.drain() == 1
+    again.store.close()

@@ -1,0 +1,108 @@
+"""Exhaustive checks of the campaign-service lifecycle state machine."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.service.states import (
+    ACTIVE_STATES,
+    IN_FLIGHT_STATES,
+    LEGAL_TRANSITIONS,
+    LIFECYCLE_ORDER,
+    RECOVERY_TRANSITIONS,
+    TERMINAL_STATES,
+    IllegalTransition,
+    JobState,
+    validate_transition,
+)
+
+
+def test_lifecycle_order_covers_all_states_but_failed():
+    assert set(LIFECYCLE_ORDER) == set(JobState) - {JobState.FAILED}
+    assert LIFECYCLE_ORDER[0] is JobState.CREATED
+    assert LIFECYCLE_ORDER[-1] is JobState.JOB_FINISHED
+
+
+def test_state_partitions():
+    assert TERMINAL_STATES == {JobState.JOB_FINISHED}
+    assert ACTIVE_STATES == set(LIFECYCLE_ORDER) - TERMINAL_STATES
+    assert IN_FLIGHT_STATES == ACTIVE_STATES - {JobState.CREATED}
+
+
+def test_happy_path_is_legal():
+    for src, dst in zip(LIFECYCLE_ORDER[:-1], LIFECYCLE_ORDER[1:]):
+        validate_transition(src, dst)
+
+
+def test_every_active_state_can_fail():
+    for src in ACTIVE_STATES:
+        validate_transition(src, JobState.FAILED)
+
+
+def test_requeue_edge():
+    validate_transition(JobState.FAILED, JobState.CREATED)
+
+
+def test_terminal_state_has_no_edges():
+    assert LEGAL_TRANSITIONS[JobState.JOB_FINISHED] == frozenset()
+
+
+def test_every_illegal_pair_raises():
+    """The defining property: every (src, dst) not in the relation raises —
+    checked for all |JobState|^2 ordered pairs."""
+    for src, dst in itertools.product(JobState, JobState):
+        legal = dst in LEGAL_TRANSITIONS[src]
+        if legal:
+            validate_transition(src, dst)
+        else:
+            with pytest.raises(IllegalTransition):
+                validate_transition(src, dst, job_id="j")
+
+
+def test_illegal_count_is_exact():
+    n_legal = sum(len(v) for v in LEGAL_TRANSITIONS.values())
+    # 6 happy-path edges + 6 FAILED edges + 1 requeue
+    assert n_legal == 13
+    n_illegal = len(JobState) ** 2 - n_legal
+    assert n_illegal == 64 - 13
+
+
+def test_recovery_edges_only_with_recovery_flag():
+    for src in IN_FLIGHT_STATES:
+        with pytest.raises(IllegalTransition):
+            validate_transition(src, JobState.CREATED)
+        validate_transition(src, JobState.CREATED, recovery=True)
+
+
+def test_recovery_flag_does_not_legalize_anything_else():
+    """recovery=True admits exactly the in-flight rollbacks, nothing more."""
+    for src, dst in itertools.product(JobState, JobState):
+        legal = dst in LEGAL_TRANSITIONS[src]
+        rollback = src in RECOVERY_TRANSITIONS and dst is JobState.CREATED
+        if legal or rollback:
+            validate_transition(src, dst, recovery=True)
+        else:
+            with pytest.raises(IllegalTransition):
+                validate_transition(src, dst, recovery=True)
+
+
+def test_recovery_transitions_exclude_created_and_failed():
+    assert JobState.CREATED not in RECOVERY_TRANSITIONS
+    assert JobState.FAILED not in RECOVERY_TRANSITIONS
+    assert JobState.JOB_FINISHED not in RECOVERY_TRANSITIONS
+
+
+def test_illegal_transition_error_is_informative():
+    with pytest.raises(IllegalTransition, match="demo.*CREATED -> RUNNING"):
+        validate_transition(JobState.CREATED, JobState.RUNNING, job_id="demo")
+    err = IllegalTransition(JobState.JOB_FINISHED, JobState.CREATED, job_id="x")
+    assert "terminal" in str(err)
+    assert err.src is JobState.JOB_FINISHED
+    assert err.dst is JobState.CREATED
+
+
+def test_states_stringify_to_bare_names():
+    assert str(JobState.RUNNING) == "RUNNING"
+    assert JobState("RUNNING") is JobState.RUNNING

@@ -1,0 +1,296 @@
+"""Durable campaign store: round-trips, torn tails, replay, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.states import IllegalTransition, JobState
+from repro.service.store import (
+    JOBS_FILE,
+    CampaignStore,
+    IllegalDeadLetter,
+    JobSpec,
+    StoreCorruptError,
+)
+
+
+def make_store(path, n=3, clock=None, max_requeues=1):
+    store = CampaignStore.create(path, seed=7, clock=clock)
+    store.submit_campaign(
+        "demo",
+        [
+            JobSpec(name=f"j{i}", params={"i": i}, max_requeues=max_requeues)
+            for i in range(n)
+        ],
+        seed=3,
+    )
+    return store
+
+
+def test_create_then_open_round_trip(tmp_path):
+    store = make_store(tmp_path / "s")
+    ids = [j.id for j in store.pending()]
+    fp = store.fingerprint()
+    store.close()
+
+    reopened = CampaignStore.open(tmp_path / "s")
+    assert [j.id for j in reopened.pending()] == ids
+    assert reopened.fingerprint() == fp
+    assert reopened.manifest.seed == 7
+    assert reopened.recovered_bytes == 0
+    reopened.close()
+
+
+def test_create_refuses_existing_store(tmp_path):
+    make_store(tmp_path / "s").close()
+    with pytest.raises(FileExistsError):
+        CampaignStore.create(tmp_path / "s")
+
+
+def test_open_refuses_missing_store(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        CampaignStore.open(tmp_path / "nope")
+
+
+def test_deterministic_job_ids(tmp_path):
+    store = make_store(tmp_path / "s")
+    assert [j.id for j in store.pending()] == ["demo.00000", "demo.00001", "demo.00002"]
+    store.close()
+
+
+def test_submit_validation(tmp_path):
+    store = make_store(tmp_path / "s")
+    with pytest.raises(ValueError, match="already submitted"):
+        store.submit_campaign("demo", [JobSpec(name="x")])
+    with pytest.raises(ValueError, match="at least one job"):
+        store.submit_campaign("empty", [])
+    with pytest.raises(ValueError, match="invalid campaign name"):
+        store.submit_campaign("bad/name", [JobSpec(name="x")])
+    store.close()
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        JobSpec(name="x", n_nodes=0)
+    with pytest.raises(ValueError):
+        JobSpec(name="x", wall_estimate=0.0)
+    with pytest.raises(ValueError):
+        JobSpec(name="x", max_requeues=-1)
+
+
+def test_transition_journals_and_replays(tmp_path):
+    store = make_store(tmp_path / "s")
+    store.transition("demo.00000", JobState.STAGED_IN)
+    store.transition("demo.00000", JobState.PREPROCESSED)
+    store.transition("demo.00001", JobState.STAGED_IN)
+    store.close()
+
+    reopened = CampaignStore.open(tmp_path / "s")
+    assert reopened.jobs["demo.00000"].state is JobState.PREPROCESSED
+    assert reopened.jobs["demo.00001"].state is JobState.STAGED_IN
+    assert reopened.jobs["demo.00002"].state is JobState.CREATED
+    assert [s for s, _ in reopened.jobs["demo.00000"].history] == [
+        "CREATED",
+        "STAGED_IN",
+        "PREPROCESSED",
+    ]
+    reopened.close()
+
+
+def test_illegal_transition_rejected_before_disk(tmp_path):
+    store = make_store(tmp_path / "s")
+    journal_size = (tmp_path / "s" / JOBS_FILE).stat().st_size
+    with pytest.raises(IllegalTransition):
+        store.transition("demo.00000", JobState.RUNNING)
+    assert (tmp_path / "s" / JOBS_FILE).stat().st_size == journal_size
+    assert store.jobs["demo.00000"].state is JobState.CREATED
+    store.close()
+
+
+def test_unknown_job_transition(tmp_path):
+    store = make_store(tmp_path / "s")
+    with pytest.raises(KeyError):
+        store.transition("nope", JobState.STAGED_IN)
+    store.close()
+
+
+def test_attempts_count_failed_entries(tmp_path):
+    store = make_store(tmp_path / "s")
+    store.transition("demo.00000", JobState.STAGED_IN)
+    store.transition("demo.00000", JobState.FAILED, error="boom")
+    assert store.jobs["demo.00000"].attempts == 1
+    store.transition("demo.00000", JobState.CREATED)  # requeue
+    assert store.jobs["demo.00000"].attempts == 1
+    store.transition("demo.00000", JobState.FAILED)
+    assert store.jobs["demo.00000"].attempts == 2
+    store.close()
+
+
+def test_dead_letter_only_from_failed(tmp_path):
+    store = make_store(tmp_path / "s")
+    with pytest.raises(IllegalDeadLetter):
+        store.mark_dead_letter("demo.00000", "nope")
+    store.transition("demo.00000", JobState.FAILED, error="boom")
+    job = store.mark_dead_letter("demo.00000", "budget gone")
+    assert job.dead_lettered
+    assert store.dead_letter.total == 1
+    store.close()
+
+    reopened = CampaignStore.open(tmp_path / "s")
+    assert reopened.jobs["demo.00000"].dead_lettered
+    assert reopened.dead_letter.total == 1  # replay repopulates the box
+    reopened.close()
+
+
+def test_torn_tail_recovery_re_derives_pending_set(tmp_path):
+    """Garbage appended to the journal (a crash mid-write) is dropped on
+    open and the pending set is identical to the pre-crash one."""
+    store = make_store(tmp_path / "s")
+    store.transition("demo.00000", JobState.STAGED_IN)
+    pending_before = sorted(j.id for j in store.pending())
+    store.close()
+
+    jobs_path = tmp_path / "s" / JOBS_FILE
+    with open(jobs_path, "ab") as fh:
+        fh.write(b'{"kind": "job.transition", "job": "demo.00001", "fr')  # torn
+
+    reopened = CampaignStore.open(tmp_path / "s")
+    assert reopened.recovered_bytes > 0
+    assert sorted(j.id for j in reopened.pending()) == pending_before
+    assert reopened.jobs["demo.00000"].state is JobState.STAGED_IN
+    # and the store is writable again after recovery
+    reopened.transition("demo.00001", JobState.STAGED_IN)
+    reopened.close()
+    CampaignStore.open(tmp_path / "s").close()
+
+
+def test_torn_tail_loses_at_most_the_last_transition(tmp_path):
+    store = make_store(tmp_path / "s")
+    store.transition("demo.00000", JobState.STAGED_IN)
+    store.close()
+    jobs_path = tmp_path / "s" / JOBS_FILE
+    data = jobs_path.read_bytes()
+    jobs_path.write_bytes(data[:-7])  # tear the final record
+
+    reopened = CampaignStore.open(tmp_path / "s")
+    # the torn record was the STAGED_IN transition: replay re-derives the
+    # consistent earlier position
+    assert reopened.jobs["demo.00000"].state is JobState.CREATED
+    reopened.close()
+
+
+def test_interior_corruption_raises(tmp_path):
+    store = make_store(tmp_path / "s")
+    store.transition("demo.00000", JobState.STAGED_IN)
+    store.close()
+    jobs_path = tmp_path / "s" / JOBS_FILE
+    lines = jobs_path.read_bytes().splitlines(keepends=True)
+    lines[1] = b"NOT JSON AT ALL\n"
+    jobs_path.write_bytes(b"".join(lines))
+    with pytest.raises(StoreCorruptError, match="interior record"):
+        CampaignStore.open(tmp_path / "s")
+
+
+def test_transition_for_unknown_job_is_corruption(tmp_path):
+    store = make_store(tmp_path / "s")
+    store.close()
+    jobs_path = tmp_path / "s" / JOBS_FILE
+    with open(jobs_path, "a", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {"kind": "job.transition", "job": "ghost", "from": "CREATED",
+                 "to": "STAGED_IN", "wall": 0.0}
+            )
+            + "\n"
+        )
+    with pytest.raises(StoreCorruptError, match="unknown job"):
+        CampaignStore.open(tmp_path / "s")
+
+
+def test_manifest_format_tag_enforced(tmp_path):
+    store = make_store(tmp_path / "s")
+    store.close()
+    manifest = tmp_path / "s" / "manifest.json"
+    d = json.loads(manifest.read_text())
+    d["format"] = "something-else/9"
+    manifest.write_text(json.dumps(d))
+    with pytest.raises(StoreCorruptError, match="format"):
+        CampaignStore.open(tmp_path / "s")
+
+
+def test_unknown_record_kinds_preserved(tmp_path):
+    store = make_store(tmp_path / "s")
+    store._append({"kind": "future.extension", "payload": {"x": 1}})
+    store.close()
+    reopened = CampaignStore.open(tmp_path / "s")  # no error
+    assert len(reopened.jobs) == 3
+    reopened.close()
+
+
+def test_recover_rolls_back_in_flight_only(tmp_path):
+    store = make_store(tmp_path / "s", n=4)
+    store.transition("demo.00000", JobState.STAGED_IN)
+    store.transition("demo.00001", JobState.STAGED_IN)
+    store.transition("demo.00001", JobState.PREPROCESSED)
+    store.transition("demo.00001", JobState.RUNNING)
+    store.transition("demo.00002", JobState.FAILED, error="x")
+    rolled = store.recover()
+    assert sorted(rolled) == ["demo.00000", "demo.00001"]
+    assert store.jobs["demo.00000"].state is JobState.CREATED
+    assert store.jobs["demo.00001"].state is JobState.CREATED
+    assert store.jobs["demo.00002"].state is JobState.FAILED  # untouched
+    assert store.jobs["demo.00003"].state is JobState.CREATED
+    store.close()
+
+    # the rollback is journaled: a reopen sees the recovered state
+    reopened = CampaignStore.open(tmp_path / "s")
+    assert reopened.jobs["demo.00001"].state is JobState.CREATED
+    reopened.close()
+
+
+def test_status_and_done(tmp_path):
+    store = make_store(tmp_path / "s", n=2)
+    assert store.status() == {"demo": {"CREATED": 2}}
+    assert not store.done
+    for jid in ("demo.00000", "demo.00001"):
+        for dst in (
+            JobState.STAGED_IN,
+            JobState.PREPROCESSED,
+            JobState.RUNNING,
+            JobState.RUN_DONE,
+            JobState.POSTPROCESSED,
+            JobState.JOB_FINISHED,
+        ):
+            store.transition(jid, dst)
+    assert store.status() == {"demo": {"JOB_FINISHED": 2}}
+    assert store.done
+    store.close()
+
+
+def test_fingerprint_ignores_clock(tmp_path):
+    ticks_a = iter(float(i) for i in range(1000))
+    ticks_b = iter(float(i * 100 + 5) for i in range(1000))
+    a = make_store(tmp_path / "a", clock=lambda: next(ticks_a))
+    b = make_store(tmp_path / "b", clock=lambda: next(ticks_b))
+    a.transition("demo.00000", JobState.STAGED_IN)
+    b.transition("demo.00000", JobState.STAGED_IN)
+    assert a.fingerprint() == b.fingerprint()
+    b.transition("demo.00001", JobState.STAGED_IN)
+    assert a.fingerprint() != b.fingerprint()
+    a.close()
+    b.close()
+
+
+def test_closed_store_refuses_writes(tmp_path):
+    store = make_store(tmp_path / "s")
+    store.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        store.transition("demo.00000", JobState.STAGED_IN)
+
+
+def test_context_manager(tmp_path):
+    with make_store(tmp_path / "s") as store:
+        assert not store.closed
+    assert store.closed
