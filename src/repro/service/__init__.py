@@ -53,6 +53,7 @@ from .states import (
 )
 from .store import (
     JOBS_FILE,
+    LOCK_FILE,
     MANIFEST_FILE,
     STORE_FORMAT,
     CampaignInfo,
@@ -61,6 +62,7 @@ from .store import (
     JobRecord,
     JobSpec,
     StoreCorruptError,
+    StoreLockedError,
     StoreManifest,
 )
 from .worker import (
@@ -78,6 +80,7 @@ __all__ = [
     "JOBS_FILE",
     "LEGAL_TRANSITIONS",
     "LIFECYCLE_ORDER",
+    "LOCK_FILE",
     "MANIFEST_FILE",
     "PAYLOADS",
     "RECOVERY_TRANSITIONS",
@@ -96,6 +99,7 @@ __all__ = [
     "PayloadFn",
     "ServiceWorker",
     "StoreCorruptError",
+    "StoreLockedError",
     "StoreManifest",
     "estimate_center_job",
     "payload_digest",

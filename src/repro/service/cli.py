@@ -15,6 +15,11 @@ property this service reproduces):
 * ``resume``  — crash recovery: roll stranded in-flight jobs back to
   pending, then drain them (``--no-work`` to recover only)
 
+``ls``/``status``/``pack`` open the store read-only, so they work while
+a worker holds the single-writer lock; a second concurrent writer
+(``work``/``submit``/``resume``) exits ``2`` with a clear message
+instead of corrupting the journal.
+
 Exit codes: ``0`` success, ``1`` the store holds dead-lettered jobs
 after the command, ``2`` usage/environment errors.
 
@@ -39,7 +44,7 @@ from typing import Any
 
 from .packer import JobPacker
 from .states import JobState
-from .store import CampaignStore, JobSpec, StoreCorruptError
+from .store import CampaignStore, JobSpec, StoreCorruptError, StoreLockedError
 from .worker import ServiceWorker
 
 __all__ = ["demo_specs", "main", "read_specs"]
@@ -114,7 +119,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 def _cmd_ls(args: argparse.Namespace) -> int:
     state = JobState(args.state) if args.state else None
-    with CampaignStore.open(args.store) as store:
+    with CampaignStore.open(args.store, readonly=True) as store:
         rows = list(store.iter_jobs(campaign=args.campaign, state=state))
         for job in sorted(rows, key=lambda j: j.id):
             flag = " [dead-letter]" if job.dead_lettered else ""
@@ -127,7 +132,7 @@ def _cmd_ls(args: argparse.Namespace) -> int:
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
-    with CampaignStore.open(args.store) as store:
+    with CampaignStore.open(args.store, readonly=True) as store:
         status = store.status()
         payload: dict[str, Any] = {
             "store": str(args.store),
@@ -150,7 +155,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_pack(args: argparse.Namespace) -> int:
-    with CampaignStore.open(args.store) as store:
+    with CampaignStore.open(args.store, readonly=True) as store:
         packer = JobPacker(max_nodes=args.max_nodes, max_wall=args.max_wall)
         allocations = packer.pack(store.pending(campaign=args.campaign))
         for alloc in allocations:
@@ -252,7 +257,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return int(args.func(args))
-    except (FileNotFoundError, FileExistsError, StoreCorruptError, ValueError) as exc:
+    except (
+        FileNotFoundError,
+        FileExistsError,
+        StoreCorruptError,
+        StoreLockedError,
+        ValueError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

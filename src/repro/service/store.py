@@ -13,29 +13,49 @@ trusts:
   submission, job creation, and state transition is one
   newline-terminated JSON record handed to the OS in a single buffered
   ``write`` under a lock (concurrent writers never interleave within a
-  line), flushed per record.  The current job table is *derived state*:
-  opening a store replays the journal from the top.
+  line), flushed *and fsynced* per record.  The current job table is
+  *derived state*: opening a store replays the journal from the top.
+* **Single-writer exclusion** (``lock``): a writable store holds an
+  advisory ``flock`` on a lockfile for its whole lifetime, so a second
+  writer (two ``python -m repro.service work`` invocations, say) fails
+  fast with :class:`StoreLockedError` instead of interleaving replayed
+  job tables and corrupting the journal.  The lock is released by
+  :meth:`CampaignStore.close` and by the OS when the holder dies —
+  a crashed worker never wedges its store.  Read-only opens
+  (``CampaignStore.open(..., readonly=True)``) take no lock and never
+  write, so ``status``/``ls``/``pack`` stay available while a worker
+  drains.
 * **Torn-tail recovery**: a crash can tear the final line at a buffer
   boundary.  Opening for append truncates back to the last complete
   line (:func:`repro.obs.journal.recover_tail`) — exactly one record
-  (the one being written at the instant of death) can be lost, and it
-  is always the *latest* transition, so replay re-derives a consistent
-  earlier lifecycle position for that job.
+  (the one being written at the instant of death, whether the process
+  was killed or the machine lost power: everything earlier was
+  fsynced) can be lost, and it is always the *latest* transition, so
+  replay re-derives a consistent earlier lifecycle position for that
+  job.
 * **Crash recovery** (:meth:`CampaignStore.recover`): jobs a dead
   worker stranded mid-lifecycle are rolled back to ``CREATED`` with an
   explicit ``recovery=True`` transition record, so a resumed worker
   sees the same pending set an uninterrupted run would have processed
-  — and the journal says the rollback happened.
+  — and the journal says the rollback happened.  Jobs the crash caught
+  *between* the ``FAILED`` append and its resolution are resolved the
+  way the dead worker would have: requeued while the budget lasts,
+  dead-lettered otherwise.
+* **Crash-atomic submission**: ``campaign.create`` journals the
+  campaign's job count, so a crash mid-submission is detected on the
+  next writable open and the partial campaign is discarded (journaled
+  as ``campaign.discard``) — resubmitting it then succeeds.
 
 Record kinds (unknown kinds are preserved on replay, the same
 forward-compatibility contract as the run journal):
 
-==================  =========================================================
-``campaign.create``  one submitted campaign (name, seed, job count)
-``job.create``       one job's immutable spec (id, kind, params, estimates)
-``job.transition``   one state-machine edge (from, to, attempts, error, ...)
-``job.dead_letter``  terminal failure after the requeue budget ran out
-==================  =========================================================
+===================  ========================================================
+``campaign.create``   one submitted campaign (name, seed, job count)
+``job.create``        one job's immutable spec (id, kind, params, estimates)
+``job.transition``    one state-machine edge (from, to, attempts, error, ...)
+``job.dead_letter``   terminal failure after the requeue budget ran out
+``campaign.discard``  a partial submission (crash mid-submit) swept on open
+===================  ========================================================
 
 Time never comes from a wall-clock call inside this module (rule
 RPR003 covers ``repro.service``): the store takes an injectable
@@ -51,7 +71,12 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, TextIO
+
+try:  # advisory single-writer locking (POSIX; absent e.g. on Windows)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..faults import DEAD_LETTER_LIMIT, DeadLetterBox
 from ..obs import get_recorder
@@ -60,6 +85,7 @@ from .states import IN_FLIGHT_STATES, JobState, validate_transition
 
 __all__ = [
     "JOBS_FILE",
+    "LOCK_FILE",
     "MANIFEST_FILE",
     "STORE_FORMAT",
     "CampaignInfo",
@@ -68,11 +94,13 @@ __all__ = [
     "JobRecord",
     "JobSpec",
     "StoreCorruptError",
+    "StoreLockedError",
     "StoreManifest",
 ]
 
 MANIFEST_FILE = "manifest.json"
 JOBS_FILE = "jobs.jsonl"
+LOCK_FILE = "lock"
 
 #: Store format tag written into every manifest.
 STORE_FORMAT = "repro-service/1"
@@ -85,6 +113,18 @@ class StoreCorruptError(RuntimeError):
     raised for interior damage — an unparseable line in the middle of
     the journal, a transition for an unknown job, or an edge the state
     machine forbids.
+    """
+
+
+class StoreLockedError(RuntimeError):
+    """Another process holds this store open for writing.
+
+    A campaign store admits exactly one writer at a time (advisory
+    ``flock`` on the store's ``lock`` file); concurrent writers would
+    each replay their own job table and append conflicting transitions,
+    corrupting the journal.  Open read-only (``readonly=True``, what the
+    ``status``/``ls``/``pack`` CLI commands do) to inspect a store that
+    a worker is draining.
     """
 
 
@@ -159,12 +199,19 @@ class JobRecord:
 
 @dataclass
 class CampaignInfo:
-    """One submitted campaign (a named group of jobs)."""
+    """One submitted campaign (a named group of jobs).
+
+    ``expected_jobs`` is the job count journaled in ``campaign.create``;
+    replay compares it against the ``job.create`` records that actually
+    follow to detect submissions a crash cut short (``None`` for
+    journals written before the count existed).
+    """
 
     name: str
     seed: int = 0
     created: float = 0.0
     job_ids: list[str] = field(default_factory=list)
+    expected_jobs: int | None = None
 
 
 @dataclass
@@ -222,8 +269,13 @@ class CampaignStore:
 
     Use :meth:`create` for a fresh store and :meth:`open` to resume an
     existing one (torn tail recovered first, journal replayed into the
-    in-memory job table).  All journal writes are thread-safe; each
-    record gets the next ``seq``.
+    in-memory job table).  A writable store holds the single-writer
+    ``flock`` for its lifetime (:class:`StoreLockedError` on
+    contention); ``readonly=True`` opens take no lock and reject writes.
+    Mutations are thread-safe: validate + journal append + in-memory
+    apply happen under one reentrant lock, so two threads can never
+    both depart the same replayed state.  Each record gets the next
+    ``seq``.
     """
 
     def __init__(
@@ -231,21 +283,30 @@ class CampaignStore:
         directory: str | os.PathLike[str],
         manifest: StoreManifest,
         clock: Callable[[], float] | None = None,
+        readonly: bool = False,
         _seq0: int = 0,
     ) -> None:
         self.directory = os.fspath(directory)
         self.manifest = manifest
+        self.readonly = bool(readonly)
         # injectable clock (RPR003: no wall-clock calls in service code);
         # time.time is referenced, never called here
         self._clock = time.time if clock is None else clock
-        self._lock = threading.Lock()
+        # reentrant: transition() holds it across validate+append+apply
+        # while _append takes it again for the journal write
+        self._lock = threading.RLock()
         self._seq = int(_seq0)
         self.jobs: dict[str, JobRecord] = {}
         self.campaigns: dict[str, CampaignInfo] = {}
         self.dead_letter = DeadLetterBox("service", limit=DEAD_LETTER_LIMIT)
         #: torn-tail bytes dropped when this store was last opened
         self.recovered_bytes = 0
-        self._fh = open(self.jobs_path, "a", encoding="utf-8")
+        self._closed = False
+        self._fh: TextIO | None = None
+        self._lock_fh: TextIO | None = None
+        if not self.readonly:
+            self._lock_fh = _acquire_writer_lock(self.directory)
+            self._fh = open(self.jobs_path, "a", encoding="utf-8")
 
     # -- construction ----------------------------------------------------------
 
@@ -276,21 +337,34 @@ class CampaignStore:
 
     @classmethod
     def open(
-        cls, root: str | os.PathLike[str], clock: Callable[[], float] | None = None
+        cls,
+        root: str | os.PathLike[str],
+        clock: Callable[[], float] | None = None,
+        readonly: bool = False,
     ) -> "CampaignStore":
-        """Open an existing store: recover the tail, replay the journal."""
+        """Open an existing store: recover the tail, replay the journal.
+
+        ``readonly=True`` skips the single-writer lock and never touches
+        the journal file — torn tails are ignored (not truncated) and
+        partial submissions are dropped from the view without being
+        journaled as discarded — so a store a live worker is draining
+        stays inspectable.
+        """
         directory = Path(os.fspath(root))
         manifest_path = directory / MANIFEST_FILE
         if not manifest_path.is_file():
             raise FileNotFoundError(f"{directory}: no campaign store here ({MANIFEST_FILE})")
         manifest = StoreManifest.load(manifest_path)
         jobs_path = directory / JOBS_FILE
-        dropped = recover_tail(jobs_path)
+        # readonly opens must not write: leave a torn tail in place
+        # (_read_records drops an unterminated final line on its own)
+        dropped = 0 if readonly else recover_tail(jobs_path)
         records = _read_records(jobs_path) if jobs_path.is_file() else []
-        store = cls(directory, manifest, clock=clock, _seq0=len(records))
+        store = cls(directory, manifest, clock=clock, readonly=readonly, _seq0=len(records))
         store.recovered_bytes = dropped
         for rec in records:
             store._apply(rec)
+        store._discard_partial_campaigns()
         if dropped:
             get_recorder().event(
                 "service.store_tail_recovered",
@@ -315,6 +389,11 @@ class CampaignStore:
         """Where workers drop per-job products (created on demand)."""
         return os.path.join(self.directory, "products")
 
+    @property
+    def lock_path(self) -> str:
+        """The single-writer advisory lockfile."""
+        return os.path.join(self.directory, LOCK_FILE)
+
     # -- journal ---------------------------------------------------------------
 
     def _append(self, record: dict[str, Any]) -> int:
@@ -322,17 +401,24 @@ class CampaignStore:
 
         Same atomic-line-framing contract as
         :meth:`repro.obs.journal.RunJournal.write`: serialize outside
-        the file write, one ``write`` call per record, flush per record
-        (campaign stores see orders of magnitude fewer records than run
-        journals, so durability wins over batching here).
+        the file write, one ``write`` call per record, flush *and fsync*
+        per record (campaign stores see orders of magnitude fewer
+        records than run journals, so durability — surviving OS/power
+        crashes, not just process kills — wins over batching here).
         """
         with self._lock:
+            if self._fh is None:
+                raise RuntimeError("store is read-only")
             if self._fh.closed:
                 raise RuntimeError("store is closed")
             seq = self._seq
             line = json.dumps({"seq": seq, "wall": self._clock(), **record})
             self._fh.write(line + "\n")
             self._fh.flush()
+            try:
+                os.fsync(self._fh.fileno())
+            except OSError:  # pragma: no cover - fs without fsync
+                pass
             self._seq += 1
             return seq
 
@@ -342,8 +428,12 @@ class CampaignStore:
         wall = float(record.get("wall", 0.0))
         if kind == "campaign.create":
             name = str(record["campaign"])
+            expected = record.get("jobs")
             self.campaigns[name] = CampaignInfo(
-                name=name, seed=int(record.get("seed", 0)), created=wall
+                name=name,
+                seed=int(record.get("seed", 0)),
+                created=wall,
+                expected_jobs=None if expected is None else int(expected),
             )
         elif kind == "job.create":
             spec = dict(record.get("job") or {})
@@ -393,7 +483,50 @@ class CampaignStore:
                 str(record.get("reason", "requeue budget exhausted")),
                 attempts=int(record.get("attempts", job.attempts)),
             )
+        elif kind == "campaign.discard":
+            name = str(record["campaign"])
+            info = self.campaigns.pop(name, None)
+            if info is None:
+                raise StoreCorruptError(
+                    f"campaign.discard for unknown campaign {name!r}"
+                )
+            for job_id in info.job_ids:
+                self.jobs.pop(job_id, None)
         # unknown kinds: preserved silently (forward compatibility)
+
+    def _discard_partial_campaigns(self) -> list[str]:
+        """Sweep campaigns a crash cut short mid-submission.
+
+        A campaign whose replayed ``job.create`` count disagrees with
+        the count journaled in ``campaign.create`` was torn by a crash
+        between those records.  Writable opens journal a
+        ``campaign.discard`` so the sweep is durable and the name can be
+        resubmitted; readonly opens only hide it from the view (it may
+        be a live writer mid-submission, not a crash).
+        """
+        partial = [
+            info.name
+            for info in self.campaigns.values()
+            if info.expected_jobs is not None
+            and len(info.job_ids) != info.expected_jobs
+        ]
+        for name in partial:
+            record = {
+                "kind": "campaign.discard",
+                "campaign": name,
+                "reason": "partial submission",
+            }
+            if not self.readonly:
+                self._append(record)
+            self._apply(record)
+        if partial and not self.readonly:
+            get_recorder().event(
+                "service.partial_campaigns_discarded",
+                level="warning",
+                store=self.directory,
+                campaigns=partial,
+            )
+        return partial
 
     def _job(self, record: dict[str, Any]) -> JobRecord:
         job_id = str(record.get("job"))
@@ -411,35 +544,47 @@ class CampaignStore:
 
         Job ids are deterministic (``<campaign>.<index>``), so a seeded
         submission replays identically — the property the packer- and
-        resume-determinism tests lean on.
+        resume-determinism tests lean on.  The ``campaign.create``
+        record journals the job count up front, so a crash mid-loop is
+        detected (and the partial campaign discarded) on the next open.
         """
         if not name or "/" in name or name != name.strip():
             raise ValueError(f"invalid campaign name {name!r}")
-        if name in self.campaigns:
-            raise ValueError(f"campaign {name!r} already submitted")
         if not specs:
             raise ValueError("a campaign needs at least one job")
         rec = get_recorder()
-        self._append({"kind": "campaign.create", "campaign": name, "seed": int(seed)})
-        wall = self._clock()
-        self.campaigns[name] = CampaignInfo(name=name, seed=int(seed), created=wall)
-        created: list[JobRecord] = []
-        for i, spec in enumerate(specs):
-            job = JobRecord(
-                id=f"{name}.{i:05d}",
-                campaign=name,
-                name=spec.name,
-                kind=spec.kind,
-                params=dict(spec.params),
-                n_nodes=spec.n_nodes,
-                wall_estimate=spec.wall_estimate,
-                max_requeues=spec.max_requeues,
-                history=[(JobState.CREATED.value, wall)],
+        with self._lock:
+            if name in self.campaigns:
+                raise ValueError(f"campaign {name!r} already submitted")
+            self._append(
+                {
+                    "kind": "campaign.create",
+                    "campaign": name,
+                    "seed": int(seed),
+                    "jobs": len(specs),
+                }
             )
-            self._append({"kind": "job.create", "job": job.spec_dict()})
-            self.jobs[job.id] = job
-            self.campaigns[name].job_ids.append(job.id)
-            created.append(job)
+            wall = self._clock()
+            self.campaigns[name] = CampaignInfo(
+                name=name, seed=int(seed), created=wall, expected_jobs=len(specs)
+            )
+            created: list[JobRecord] = []
+            for i, spec in enumerate(specs):
+                job = JobRecord(
+                    id=f"{name}.{i:05d}",
+                    campaign=name,
+                    name=spec.name,
+                    kind=spec.kind,
+                    params=dict(spec.params),
+                    n_nodes=spec.n_nodes,
+                    wall_estimate=spec.wall_estimate,
+                    max_requeues=spec.max_requeues,
+                    history=[(JobState.CREATED.value, wall)],
+                )
+                self._append({"kind": "job.create", "job": job.spec_dict()})
+                self.jobs[job.id] = job
+                self.campaigns[name].job_ids.append(job.id)
+                created.append(job)
         rec.counter("service_campaigns_total").inc()
         rec.counter("service_jobs_submitted_total").inc(len(created))
         rec.event(
@@ -461,37 +606,40 @@ class CampaignStore:
 
         Raises :class:`~repro.service.states.IllegalTransition` for a
         forbidden edge *before* anything touches disk, so an illegal
-        call can never corrupt the store.
+        call can never corrupt the store.  Validate, append, and apply
+        happen under the store lock, so concurrent threads can never
+        both journal a departure from the same state.
         """
-        job = self.jobs.get(job_id)
-        if job is None:
-            raise KeyError(f"unknown job {job_id!r}")
-        src = job.state
-        validate_transition(src, dst, job_id=job_id, recovery=recovery)
-        # `attempts` counts lifecycle *failures* (FAILED entries), so a
-        # stage-in failure consumes requeue budget exactly like a
-        # payload failure — no free infinite FAILED→CREATED loops
-        attempts = job.attempts + 1 if dst is JobState.FAILED else job.attempts
-        record: dict[str, Any] = {
-            "kind": "job.transition",
-            "job": job_id,
-            "from": src.value,
-            "to": dst.value,
-            "attempts": attempts,
-        }
-        if error is not None:
-            record["error"] = error
-        if result is not None:
-            record["result"] = result
-        if recovery:
-            record["recovery"] = True
-        self._append(record)
-        job.state = dst
-        job.attempts = attempts
-        job.error = error
-        if result is not None:
-            job.result = dict(result)
-        job.history.append((dst.value, self._clock()))
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            src = job.state
+            validate_transition(src, dst, job_id=job_id, recovery=recovery)
+            # `attempts` counts lifecycle *failures* (FAILED entries), so a
+            # stage-in failure consumes requeue budget exactly like a
+            # payload failure — no free infinite FAILED→CREATED loops
+            attempts = job.attempts + 1 if dst is JobState.FAILED else job.attempts
+            record: dict[str, Any] = {
+                "kind": "job.transition",
+                "job": job_id,
+                "from": src.value,
+                "to": dst.value,
+                "attempts": attempts,
+            }
+            if error is not None:
+                record["error"] = error
+            if result is not None:
+                record["result"] = result
+            if recovery:
+                record["recovery"] = True
+            self._append(record)
+            job.state = dst
+            job.attempts = attempts
+            job.error = error
+            if result is not None:
+                job.result = dict(result)
+            job.history.append((dst.value, self._clock()))
         rec = get_recorder()
         rec.counter("service_transitions_total").inc()
         rec.event(
@@ -511,44 +659,76 @@ class CampaignStore:
         (source ``"service"``) gains an entry — the same bounded sink
         the scheduler and exec engine use.
         """
-        job = self.jobs.get(job_id)
-        if job is None:
-            raise KeyError(f"unknown job {job_id!r}")
-        if job.state is not JobState.FAILED:
-            raise IllegalDeadLetter(job_id, job.state)
-        self._append(
-            {
-                "kind": "job.dead_letter",
-                "job": job_id,
-                "reason": reason,
-                "attempts": job.attempts,
-            }
-        )
-        job.dead_lettered = True
-        self.dead_letter.add(job_id, reason, attempts=job.attempts)
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if job.state is not JobState.FAILED:
+                raise IllegalDeadLetter(job_id, job.state)
+            self._append(
+                {
+                    "kind": "job.dead_letter",
+                    "job": job_id,
+                    "reason": reason,
+                    "attempts": job.attempts,
+                }
+            )
+            job.dead_lettered = True
+            self.dead_letter.add(job_id, reason, attempts=job.attempts)
         return job
 
     # -- recovery --------------------------------------------------------------
 
     def recover(self) -> list[str]:
-        """Roll stranded in-flight jobs back to ``CREATED``.
+        """Resolve every job a dead worker left in a non-pending state.
 
         A worker that died mid-lifecycle leaves jobs in an in-flight
         state (``STAGED_IN`` .. ``POSTPROCESSED``).  Each is rolled back
-        with an explicit ``recovery=True`` transition, so the resumed
-        pending set is exactly what an uninterrupted worker would still
-        have had to process.  Returns the rolled-back job ids.
+        to ``CREATED`` with an explicit ``recovery=True`` transition, so
+        the resumed pending set is exactly what an uninterrupted worker
+        would still have had to process.
+
+        A crash can also land *between* a ``FAILED`` append and its
+        resolution (requeue or dead-letter) — leaving the job ``FAILED``
+        but not dead-lettered, a state no live worker ever abandons.
+        Recovery finishes what the dead worker started: requeue
+        (``FAILED -> CREATED``) while ``attempts`` is within the
+        ``max_requeues`` budget, dead-letter otherwise — so the store
+        can always reach :attr:`done`.
+
+        Returns the job ids re-queued to ``CREATED`` (rollbacks and
+        requeues both; dead-lettered jobs are terminal, not pending).
         """
         rolled: list[str] = []
-        for job in self.jobs.values():
+        dead: list[str] = []
+        for job in list(self.jobs.values()):
             if job.state in IN_FLIGHT_STATES:
                 self.transition(job.id, JobState.CREATED, recovery=True)
                 rolled.append(job.id)
-        if rolled:
+            elif job.state is JobState.FAILED and not job.dead_lettered:
+                if job.attempts <= job.max_requeues:
+                    self.transition(
+                        job.id, JobState.CREATED, error=job.error, recovery=True
+                    )
+                    rolled.append(job.id)
+                else:
+                    reason = (
+                        f"requeue budget exhausted after {job.attempts} attempts"
+                        " (resolved during recovery)"
+                    )
+                    if job.error:
+                        reason += f": {job.error}"
+                    self.mark_dead_letter(job.id, reason)
+                    dead.append(job.id)
+        if rolled or dead:
             rec = get_recorder()
-            rec.counter("service_recovered_total").inc(len(rolled))
+            rec.counter("service_recovered_total").inc(len(rolled) + len(dead))
             rec.event(
-                "service.recovered", level="warning", jobs=len(rolled), ids=rolled
+                "service.recovered",
+                level="warning",
+                jobs=len(rolled),
+                ids=rolled,
+                dead_lettered=dead,
             )
         return rolled
 
@@ -612,18 +792,24 @@ class CampaignStore:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
+        """Flush + close the journal and release the single-writer lock."""
         with self._lock:
-            if not self._fh.closed:
+            if self._fh is not None and not self._fh.closed:
                 self._fh.flush()
                 try:
                     os.fsync(self._fh.fileno())
                 except OSError:  # pragma: no cover - fs without fsync
                     pass
                 self._fh.close()
+            if self._lock_fh is not None and not self._lock_fh.closed:
+                # closing the fd drops the flock; no unlink (another
+                # writer may be racing to take the lock on the same path)
+                self._lock_fh.close()
+            self._closed = True
 
     @property
     def closed(self) -> bool:
-        return self._fh.closed
+        return self._closed if self._fh is None else self._fh.closed
 
     def __enter__(self) -> "CampaignStore":
         return self
@@ -643,13 +829,38 @@ class IllegalDeadLetter(ValueError):
         self.state = state
 
 
+def _acquire_writer_lock(directory: str) -> TextIO:
+    """Take the store's advisory single-writer lock (non-blocking).
+
+    The lock lives as long as the returned file handle: released by
+    :meth:`CampaignStore.close`, or by the OS when the holding process
+    dies — which is why a hard-killed worker never wedges its store.
+    """
+    path = os.path.join(directory, LOCK_FILE)
+    fh = open(path, "a", encoding="utf-8")
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        return fh
+    try:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        fh.close()
+        raise StoreLockedError(
+            f"{directory}: another process holds this campaign store open "
+            "for writing (one writer at a time; open readonly=True to "
+            "inspect, or wait for the other writer to finish)"
+        ) from None
+    return fh
+
+
 def _read_records(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
     """Parse a (tail-recovered) job journal; interior damage raises."""
     records: list[dict[str, Any]] = []
     with open(os.fspath(path), "rb") as fh:
         data = fh.read()
     lines = data.split(b"\n")
-    if lines and lines[-1].strip():  # pragma: no cover - recover_tail ran first
+    if lines and lines[-1].strip():
+        # an unterminated tail: recover_tail truncated it for writable
+        # opens; readonly opens leave the file alone and drop it here
         lines = lines[:-1]
     for i, raw in enumerate(lines):
         if not raw.strip():

@@ -106,6 +106,25 @@ def test_dead_letter_exit_code(tmp_path, capsys):
     assert "[dead-letter]" in out
 
 
+def test_concurrent_writer_exits_2_but_inspection_works(tmp_path, capsys):
+    """A second writer is refused (exit 2) while the read-only commands
+    keep working against the locked store."""
+    store = tmp_path / "store"
+    run(capsys, "init", store)
+    run(capsys, "submit", store, "--campaign", "demo", "--demo", 2)
+    with CampaignStore.open(store):  # a live writer, e.g. a worker
+        code, _, err = run(capsys, "work", store)
+        assert code == 2 and "another process" in err
+        code, _, err = run(capsys, "submit", store, "--campaign", "x", "--demo", 1)
+        assert code == 2 and "another process" in err
+        code, out, _ = run(capsys, "status", store)
+        assert code == 0 and "CREATED=2" in out
+        code, out, _ = run(capsys, "ls", store)
+        assert code == 0 and "2 job(s)" in out
+    code, out, _ = run(capsys, "work", store)  # lock released on close
+    assert code == 0 and "finished 2 job(s)" in out
+
+
 def test_error_paths_exit_2(tmp_path, capsys):
     code, _, err = run(capsys, "status", tmp_path / "missing")
     assert code == 2 and "error:" in err

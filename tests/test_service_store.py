@@ -13,6 +13,7 @@ from repro.service.store import (
     IllegalDeadLetter,
     JobSpec,
     StoreCorruptError,
+    StoreLockedError,
 )
 
 
@@ -229,18 +230,17 @@ def test_unknown_record_kinds_preserved(tmp_path):
     reopened.close()
 
 
-def test_recover_rolls_back_in_flight_only(tmp_path):
+def test_recover_rolls_back_in_flight_jobs(tmp_path):
     store = make_store(tmp_path / "s", n=4)
     store.transition("demo.00000", JobState.STAGED_IN)
     store.transition("demo.00001", JobState.STAGED_IN)
     store.transition("demo.00001", JobState.PREPROCESSED)
     store.transition("demo.00001", JobState.RUNNING)
-    store.transition("demo.00002", JobState.FAILED, error="x")
     rolled = store.recover()
     assert sorted(rolled) == ["demo.00000", "demo.00001"]
     assert store.jobs["demo.00000"].state is JobState.CREATED
     assert store.jobs["demo.00001"].state is JobState.CREATED
-    assert store.jobs["demo.00002"].state is JobState.FAILED  # untouched
+    assert store.jobs["demo.00002"].state is JobState.CREATED
     assert store.jobs["demo.00003"].state is JobState.CREATED
     store.close()
 
@@ -248,6 +248,60 @@ def test_recover_rolls_back_in_flight_only(tmp_path):
     reopened = CampaignStore.open(tmp_path / "s")
     assert reopened.jobs["demo.00001"].state is JobState.CREATED
     reopened.close()
+
+
+def test_recover_requeues_stranded_failed_with_budget(tmp_path):
+    """A crash between the FAILED append and the requeue: recovery
+    finishes the requeue the dead worker would have performed."""
+    store = make_store(tmp_path / "s", max_requeues=1)
+    store.transition("demo.00000", JobState.STAGED_IN)
+    store.transition("demo.00000", JobState.FAILED, error="boom")  # attempts=1
+    store.close()
+
+    reopened = CampaignStore.open(tmp_path / "s")
+    rolled = reopened.recover()
+    assert rolled == ["demo.00000"]
+    job = reopened.jobs["demo.00000"]
+    assert job.state is JobState.CREATED
+    assert not job.dead_lettered
+    assert job.attempts == 1  # the requeue does not refund the budget
+    reopened.close()
+
+
+def test_recover_dead_letters_stranded_failed_without_budget(tmp_path):
+    """A crash between the FAILED append and the dead-letter record:
+    recovery dead-letters the job so the store can still reach done."""
+    store = make_store(tmp_path / "s", max_requeues=0)
+    store.transition("demo.00001", JobState.STAGED_IN)
+    store.transition("demo.00001", JobState.FAILED, error="boom")  # budget gone
+    assert not store.done  # FAILED but not dead-lettered: unresolved
+    store.close()
+
+    reopened = CampaignStore.open(tmp_path / "s")
+    rolled = reopened.recover()
+    assert rolled == []  # dead-lettered, not requeued
+    job = reopened.jobs["demo.00001"]
+    assert job.state is JobState.FAILED
+    assert job.dead_lettered
+    assert reopened.dead_letter.total == 1
+    # the other jobs drain normally; the resolution is durable
+    for jid in ("demo.00000", "demo.00002"):
+        for dst in (
+            JobState.STAGED_IN,
+            JobState.PREPROCESSED,
+            JobState.RUNNING,
+            JobState.RUN_DONE,
+            JobState.POSTPROCESSED,
+            JobState.JOB_FINISHED,
+        ):
+            reopened.transition(jid, dst)
+    assert reopened.done
+    reopened.close()
+
+    again = CampaignStore.open(tmp_path / "s")
+    assert again.jobs["demo.00001"].dead_lettered
+    assert again.done
+    again.close()
 
 
 def test_status_and_done(tmp_path):
@@ -294,3 +348,123 @@ def test_context_manager(tmp_path):
     with make_store(tmp_path / "s") as store:
         assert not store.closed
     assert store.closed
+
+
+def test_second_writer_is_rejected(tmp_path):
+    """Two concurrent writable opens would interleave replayed job
+    tables and corrupt the journal; the second must fail fast."""
+    store = make_store(tmp_path / "s")
+    with pytest.raises(StoreLockedError, match="another process"):
+        CampaignStore.open(tmp_path / "s")
+    store.close()
+    # the lock dies with the holder: reopening after close works
+    CampaignStore.open(tmp_path / "s").close()
+
+
+def test_readonly_open_coexists_with_a_writer(tmp_path):
+    store = make_store(tmp_path / "s")
+    store.transition("demo.00000", JobState.STAGED_IN)
+
+    view = CampaignStore.open(tmp_path / "s", readonly=True)
+    assert view.jobs["demo.00000"].state is JobState.STAGED_IN
+    assert view.status() == {"demo": {"CREATED": 2, "STAGED_IN": 1}}
+    with pytest.raises(RuntimeError, match="read-only"):
+        view.transition("demo.00001", JobState.STAGED_IN)
+    view.close()
+    assert view.closed
+
+    # the writer is unaffected
+    store.transition("demo.00001", JobState.STAGED_IN)
+    store.close()
+
+
+def test_readonly_open_ignores_torn_tail_without_truncating(tmp_path):
+    store = make_store(tmp_path / "s")
+    store.close()
+    jobs_path = tmp_path / "s" / JOBS_FILE
+    with open(jobs_path, "ab") as fh:
+        fh.write(b'{"kind": "job.transition", "job": "demo.00000", "fr')
+    size_before = jobs_path.stat().st_size
+
+    view = CampaignStore.open(tmp_path / "s", readonly=True)
+    assert view.jobs["demo.00000"].state is JobState.CREATED
+    assert jobs_path.stat().st_size == size_before  # untouched
+    view.close()
+
+
+def test_partial_submission_is_discarded_and_resubmittable(tmp_path):
+    """A crash mid-submission leaves campaign.create plus a prefix of
+    the job.create records; the next writable open discards the partial
+    campaign (journaled) and resubmission succeeds."""
+    store = make_store(tmp_path / "s", n=3)
+    store.close()
+    jobs_path = tmp_path / "s" / JOBS_FILE
+    lines = jobs_path.read_bytes().splitlines(keepends=True)
+    assert len(lines) == 4  # campaign.create + 3 job.create
+    jobs_path.write_bytes(b"".join(lines[:2]))  # crash after job #0
+
+    reopened = CampaignStore.open(tmp_path / "s")
+    assert reopened.campaigns == {}
+    assert reopened.jobs == {}
+    specs = [JobSpec(name=f"j{i}", params={"i": i}) for i in range(3)]
+    reopened.submit_campaign("demo", specs, seed=3)
+    assert sorted(reopened.jobs) == ["demo.00000", "demo.00001", "demo.00002"]
+    reopened.close()
+
+    # the discard is journaled: replay stays consistent across reopens
+    again = CampaignStore.open(tmp_path / "s")
+    assert sorted(again.jobs) == ["demo.00000", "demo.00001", "demo.00002"]
+    assert again.campaigns["demo"].expected_jobs == 3
+    again.close()
+
+
+def test_partial_submission_hidden_from_readonly_view(tmp_path):
+    store = make_store(tmp_path / "s", n=3)
+    store.close()
+    jobs_path = tmp_path / "s" / JOBS_FILE
+    lines = jobs_path.read_bytes().splitlines(keepends=True)
+    jobs_path.write_bytes(b"".join(lines[:2]))
+    size_before = jobs_path.stat().st_size
+
+    view = CampaignStore.open(tmp_path / "s", readonly=True)
+    assert view.campaigns == {}  # hidden, but not journaled as discarded
+    assert jobs_path.stat().st_size == size_before
+    view.close()
+
+
+def test_concurrent_transitions_from_threads_replay_cleanly(tmp_path):
+    """validate+append+apply under one lock: racing threads can never
+    journal two departures from the same replayed state."""
+    import threading
+
+    store = make_store(tmp_path / "s", n=8)
+    errors = []
+
+    def advance(jid):
+        try:
+            for dst in (
+                JobState.STAGED_IN,
+                JobState.PREPROCESSED,
+                JobState.RUNNING,
+                JobState.RUN_DONE,
+                JobState.POSTPROCESSED,
+                JobState.JOB_FINISHED,
+            ):
+                store.transition(jid, dst)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=advance, args=(f"demo.{i:05d}",)) for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert store.done
+    store.close()
+
+    reopened = CampaignStore.open(tmp_path / "s")  # replay accepts the journal
+    assert reopened.done
+    reopened.close()

@@ -227,6 +227,62 @@ def test_hard_kill_then_resume_is_bit_identical(tmp_path):
     b.close()
 
 
+@pytest.mark.parametrize(
+    "crash_after",
+    [
+        4,  # dies right after the first FAILED append, before the requeue
+        15,  # dies after the second FAILED append, before the dead-letter
+    ],
+)
+def test_hard_kill_on_failed_edge_resumes_bit_identical(tmp_path, crash_after):
+    """The crash drill landing exactly on a FAILED transition: the job
+    is stranded FAILED but neither requeued nor dead-lettered, and
+    resume must finish the resolution the dead worker owed."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+
+    killed = tmp_path / "killed"
+    clean = tmp_path / "clean"
+    specs = [
+        JobSpec(name="bad", kind="fail", max_requeues=1),
+        JobSpec(name="good", kind="noop", params={"x": 1}),
+    ]
+    for root in (killed, clean):
+        store = CampaignStore.create(root, seed=7)
+        store.submit_campaign("demo", specs, seed=3)
+        store.close()
+
+    # transition count: bad STAGED_IN(1)..FAILED(4) CREATED(5, requeue);
+    # the requeued bad job re-enters pending on the *next* drain pass,
+    # so good runs next, STAGED_IN(6)..JOB_FINISHED(11); then bad again,
+    # STAGED_IN(12)..FAILED(15) + dead-letter (not a transition)
+    proc = _run_cli(["work", str(killed), "--crash-after", str(crash_after)], env)
+    assert proc.returncode == ServiceWorker.CRASH_EXIT_CODE, proc.stderr
+
+    stranded = CampaignStore.open(killed)
+    bad = stranded.jobs["demo.00000"]
+    assert bad.state is JobState.FAILED and not bad.dead_lettered
+    assert not stranded.done  # exactly the state recover() must resolve
+    stranded.close()
+
+    proc = _run_cli(["resume", str(killed)], env)
+    assert proc.returncode == 1, proc.stderr  # dead letters present
+    proc = _run_cli(["work", str(clean)], env)
+    assert proc.returncode == 1, proc.stderr
+
+    a = CampaignStore.open(killed)
+    b = CampaignStore.open(clean)
+    assert a.done and b.done
+    assert a.jobs["demo.00000"].dead_lettered
+    assert a.fingerprint() == b.fingerprint()
+    a.close()
+    b.close()
+
+
 def test_in_process_crash_recover_resume(tmp_path):
     """Same drill without a subprocess: simulate the stranded state via
     direct transitions, then recover + drain."""
